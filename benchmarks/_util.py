@@ -1,0 +1,68 @@
+"""Shared helpers for the per-figure benchmark files.
+
+Every benchmark runs the workload on *virtual* time inside a single
+``benchmark.pedantic`` round (re-running a multi-second simulation many
+times buys no precision — the simulation is deterministic).  The
+paper-style tables are printed and also written to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite them.
+
+Scales are shrunk from the paper's testbed (10 M files, 16 dual-socket
+servers) to laptop-simulation sizes; the *relative* shapes are the
+reproduction target, as recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+from repro.bench import RunResult, format_table, make_cluster, run_stream, scaled_config
+from repro.workloads import (
+    FixedOpStream,
+    Population,
+    bootstrap,
+    multiple_directories,
+    single_large_directory,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_table(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")
+    print("\n" + text)
+
+
+def measure_fixed_op(
+    system: str,
+    op: str,
+    population_factory: Callable[[], Population],
+    num_servers: int = 8,
+    cores: int = 4,
+    total_ops: int = 2500,
+    inflight: int = 64,
+    dir_choice: str = "uniform",
+    seed: int = 17,
+    config_overrides: Optional[dict] = None,
+) -> RunResult:
+    """One benchmark point: a fixed-op stream against a fresh cluster."""
+    config = scaled_config(num_servers=num_servers, cores_per_server=cores,
+                           **(config_overrides or {}))
+    cluster = make_cluster(system, config)
+    population = bootstrap(cluster, population_factory(), warm_clients=[0])
+    stream = FixedOpStream(op, population, seed=seed, dir_choice=dir_choice)
+    return run_stream(cluster, stream, total_ops=total_ops, inflight=inflight,
+                      op_label=op)
+
+
+def one_shot(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark and return its result."""
+    holder = {}
+
+    def call():
+        holder["result"] = fn()
+
+    benchmark.pedantic(call, rounds=1, iterations=1)
+    return holder["result"]

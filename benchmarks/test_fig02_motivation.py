@@ -1,0 +1,116 @@
+"""Figure 2 — motivation: the partition-granularity trade-off.
+
+(a) `stat` throughput vs. #servers in a shared directory: CFS-KV scales
+    linearly (per-file partitioning), InfiniFS is flat (all files of the
+    hot directory on one server).
+(b) `create` latency breakdown: CFS-KV pays cross-server transaction
+    RTTs, InfiniFS pays local execution only.
+(c) `create` throughput vs. #servers: both flat (parent-inode contention).
+(d) `create` throughput vs. cores/server: both flat (lock serialisation).
+"""
+
+import pytest
+
+from repro.bench import Series, format_table, make_cluster, run_stream, scaled_config
+from repro.workloads import FixedOpStream, bootstrap, single_large_directory
+
+from _util import measure_fixed_op, one_shot, save_table
+
+POP_FILES = 400
+OPS = 2000
+SERVERS = [1, 2, 4, 8]
+CORES = [1, 2, 4, 8]
+
+
+def _point(system, op, num_servers=4, cores=4, inflight=64):
+    return measure_fixed_op(
+        system, op, lambda: single_large_directory(POP_FILES),
+        num_servers=num_servers, cores=cores, total_ops=OPS, inflight=inflight,
+        dir_choice="single",
+    )
+
+
+def test_fig2a_stat_scaling(benchmark):
+    def run():
+        series = Series("Fig 2(a): stat throughput, shared directory",
+                        "#servers", "Kops/s")
+        for n in SERVERS:
+            for system in ("InfiniFS", "CFS-KV"):
+                series.add(system, n, round(_point(system, "stat", num_servers=n).throughput_kops, 1))
+        return series
+
+    series = one_shot(benchmark, run)
+    headers, rows = series.as_table()
+    save_table("fig02a_stat_scaling", format_table(series.title, headers, rows))
+    # Shape assertions: CFS-KV scales, InfiniFS does not.
+    cfs = series.lines["CFS-KV"]
+    inf = series.lines["InfiniFS"]
+    assert cfs[8] > cfs[1] * 3.0
+    assert inf[8] < inf[1] * 2.0
+
+
+def test_fig2b_create_latency_breakdown(benchmark):
+    def run():
+        rows = []
+        for system in ("InfiniFS", "CFS-KV"):
+            result = _point(system, "create", num_servers=4, inflight=1)
+            config = scaled_config(num_servers=4)
+            rtt = 4 * config.perf.link_latency_us  # client<->server round trip
+            # Network share: measured messages on the critical path.
+            hops = 1 if system == "InfiniFS" else 3  # +2 txn RPCs cross-server
+            network = hops * rtt
+            storage = config.perf.kv_put_us + config.perf.wal_append_us + config.perf.kv_get_us
+            software = max(result.mean_latency_us - network - storage, 0.0)
+            rows.append([system, round(result.mean_latency_us, 2), round(network, 2),
+                         round(storage, 2), round(software, 2)])
+        return rows
+
+    rows = one_shot(benchmark, run)
+    save_table(
+        "fig02b_create_latency_breakdown",
+        format_table(
+            "Fig 2(b): create latency breakdown (shared directory, 4 servers)",
+            ["system", "total us", "network us", "storage us", "software us"],
+            rows,
+        ),
+    )
+    by_system = {r[0]: r for r in rows}
+    # CFS-KV's extra network share (cross-server txn) dominates the gap.
+    assert by_system["CFS-KV"][2] > by_system["InfiniFS"][2]
+    assert by_system["CFS-KV"][1] > by_system["InfiniFS"][1]
+
+
+def test_fig2c_create_server_scaling(benchmark):
+    def run():
+        series = Series("Fig 2(c): create throughput, shared directory",
+                        "#servers", "Kops/s")
+        for n in SERVERS:
+            for system in ("InfiniFS", "CFS-KV"):
+                series.add(system, n, round(_point(system, "create", num_servers=n).throughput_kops, 1))
+        return series
+
+    series = one_shot(benchmark, run)
+    headers, rows = series.as_table()
+    save_table("fig02c_create_server_scaling", format_table(series.title, headers, rows))
+    for system in ("InfiniFS", "CFS-KV"):
+        line = series.lines[system]
+        assert line[8] < line[1] * 1.6  # flat: contention-bound
+
+
+def test_fig2d_create_core_scaling(benchmark):
+    def run():
+        series = Series("Fig 2(d): create throughput vs cores/server, shared dir",
+                        "cores", "Kops/s")
+        for c in CORES:
+            for system in ("InfiniFS", "CFS-KV"):
+                series.add(system, c, round(_point(system, "create", num_servers=4, cores=c).throughput_kops, 1))
+        return series
+
+    series = one_shot(benchmark, run)
+    headers, rows = series.as_table()
+    save_table("fig02d_create_core_scaling", format_table(series.title, headers, rows))
+    for system in ("InfiniFS", "CFS-KV"):
+        line = series.lines[system]
+        # Beyond the point where the inode lock binds, more cores buy
+        # nothing ("hardly scales", §2.3 Challenge 2).
+        assert line[8] < line[2] * 1.3

@@ -1,0 +1,102 @@
+"""Figure 11 — peak throughput of metadata operations.
+
+(a) single large directory (load-balance stress): SwitchFS scales for
+    double-inode ops where InfiniFS/CFS-KV stay flat; stat scales for the
+    per-file-partitioned systems; Ceph is far below everyone.
+(b) 1024 (scaled: 192) uniform directories (operation-overhead stress):
+    SwitchFS is among the best everywhere; CFS-KV pays cross-server
+    transactions on create/delete.
+"""
+
+import pytest
+
+from repro.bench import Series, format_table
+from repro.workloads import multiple_directories, single_large_directory
+
+from _util import measure_fixed_op, one_shot, save_table
+
+SERVERS = [2, 8]
+OPS = 2000
+INFLIGHT = 64
+
+SINGLE_DIR_SYSTEMS = ["SwitchFS", "InfiniFS", "CFS-KV", "Ceph"]
+MULTI_DIR_SYSTEMS = ["SwitchFS", "InfiniFS", "CFS-KV", "IndexFS", "Ceph"]
+OPS_UNDER_TEST = ["create", "delete", "mkdir", "rmdir", "stat", "statdir"]
+
+
+def _sweep(population_factory, systems, dir_choice, ceph_ops=600):
+    tables = {}
+    for op in OPS_UNDER_TEST:
+        series = Series(f"{op} peak throughput", "#servers", "Kops/s")
+        for system in systems:
+            for n in SERVERS:
+                total = ceph_ops if system == "Ceph" else OPS
+                result = measure_fixed_op(
+                    system, op, population_factory,
+                    num_servers=n, total_ops=total, inflight=INFLIGHT,
+                    dir_choice=dir_choice,
+                )
+                series.add(system, n, round(result.throughput_kops, 1))
+        tables[op] = series
+    return tables
+
+
+def test_fig11a_single_large_directory(benchmark):
+    def run():
+        # The population exceeds OPS so delete never runs out of targets.
+        return _sweep(lambda: single_large_directory(OPS + 200), SINGLE_DIR_SYSTEMS, "single")
+
+    tables = one_shot(benchmark, run)
+    text = []
+    for op, series in tables.items():
+        headers, rows = series.as_table()
+        text.append(format_table(f"Fig 11(a) {series.title} [single large dir]", headers, rows))
+    save_table("fig11a_single_large_dir", "\n\n".join(text))
+
+    # Shape assertions (paper §6.2.1 observations 1-4).
+    create = tables["create"].lines
+    assert create["SwitchFS"][8] > create["SwitchFS"][2] * 1.5   # scales
+    assert create["SwitchFS"][8] > create["InfiniFS"][8] * 5     # big win
+    assert create["InfiniFS"][8] < create["InfiniFS"][2] * 1.5   # flat
+    assert create["CFS-KV"][8] < create["CFS-KV"][2] * 1.5       # flat
+    stat = tables["stat"].lines
+    assert stat["SwitchFS"][8] > stat["SwitchFS"][2] * 2.0       # linear-ish
+    assert stat["CFS-KV"][8] > stat["CFS-KV"][2] * 2.0
+    assert stat["InfiniFS"][8] < stat["InfiniFS"][2] * 1.5       # hotspot server
+    # Ceph far below the substrate-shared systems on every op.
+    for op in ("create", "stat"):
+        ceph = tables[op].lines["Ceph"][8]
+        assert ceph < tables[op].lines["SwitchFS"][8] / 4
+    # mkdir/rmdir scale for SwitchFS only.
+    mkdir = tables["mkdir"].lines
+    assert mkdir["SwitchFS"][8] > mkdir["InfiniFS"][8] * 2
+    rmdir = tables["rmdir"].lines
+    assert rmdir["SwitchFS"][8] <= mkdir["SwitchFS"][8]  # multicast overhead
+
+
+def test_fig11b_multiple_directories(benchmark):
+    def run():
+        return _sweep(lambda: multiple_directories(192, 24), MULTI_DIR_SYSTEMS, "uniform")
+
+    tables = one_shot(benchmark, run)
+    text = []
+    for op, series in tables.items():
+        headers, rows = series.as_table()
+        text.append(format_table(f"Fig 11(b) {series.title} [many dirs]", headers, rows))
+    save_table("fig11b_multiple_dirs", "\n\n".join(text))
+
+    create = tables["create"].lines
+    # SwitchFS comparable to InfiniFS (local execution) and above CFS-KV
+    # (which pays cross-server transactions).
+    assert create["SwitchFS"][8] > create["CFS-KV"][8]
+    assert create["SwitchFS"][8] > create["InfiniFS"][8] * 0.7
+    # mkdir: SwitchFS the best (everyone else exposes cross-server cost).
+    mkdir = tables["mkdir"].lines
+    assert mkdir["SwitchFS"][8] >= max(
+        mkdir["InfiniFS"][8], mkdir["CFS-KV"][8], mkdir["IndexFS"][8]
+    )
+    # stat and statdir scale well for all substrate-shared systems.
+    for op in ("stat", "statdir"):
+        for system in ("SwitchFS", "InfiniFS", "CFS-KV"):
+            line = tables[op].lines[system]
+            assert line[8] > line[2] * 1.5

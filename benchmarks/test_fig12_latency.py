@@ -1,0 +1,58 @@
+"""Figure 12 — average operation latency, single client, 8 servers.
+
+SwitchFS turns double-inode ops into one-RTT local executions with a
+cheap change-log append, so its create/delete/mkdir/rmdir latency is the
+lowest; its statdir pays a small premium for the in-flight-aggregation
+check; IndexFS (kernel networking) and Ceph (heavy stack) sit far above.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.workloads import multiple_directories
+
+from _util import measure_fixed_op, one_shot, save_table
+
+SYSTEMS = ["SwitchFS", "InfiniFS", "CFS-KV", "IndexFS", "Ceph"]
+OPS_UNDER_TEST = ["create", "delete", "mkdir", "rmdir", "stat", "statdir"]
+OPS = 300
+
+
+def test_fig12_latency(benchmark):
+    def run():
+        table = {}
+        for system in SYSTEMS:
+            for op in OPS_UNDER_TEST:
+                result = measure_fixed_op(
+                    system, op, lambda: multiple_directories(64, 10),
+                    num_servers=8, total_ops=OPS, inflight=1,  # single client
+                )
+                table[(system, op)] = result.mean_latency_us
+        return table
+
+    table = one_shot(benchmark, run)
+    rows = [
+        [op] + [round(table[(system, op)], 1) for system in SYSTEMS]
+        for op in OPS_UNDER_TEST
+    ]
+    save_table(
+        "fig12_latency",
+        format_table(
+            "Fig 12: average latency (us), 1 client, 8 servers, 64 dirs",
+            ["op"] + SYSTEMS, rows,
+        ),
+    )
+
+    # Shape assertions (paper §6.2.2 observations 1-3).
+    for op in ("create", "delete", "mkdir"):
+        switchfs = table[("SwitchFS", op)]
+        assert switchfs < table[("CFS-KV", op)]
+        assert switchfs <= table[("InfiniFS", op)] * 1.05
+    # statdir: SwitchFS modestly above InfiniFS (the in-flight-aggregation
+    # check; paper: +28.6%), nowhere near a blowup.
+    assert table[("SwitchFS", "statdir")] > table[("InfiniFS", "statdir")]
+    assert table[("SwitchFS", "statdir")] < table[("InfiniFS", "statdir")] * 1.8
+    # Heavy stacks dominate.
+    for op in OPS_UNDER_TEST:
+        assert table[("Ceph", op)] > table[("SwitchFS", op)] * 3
+        assert table[("IndexFS", op)] > table[("InfiniFS", op)]

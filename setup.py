@@ -1,0 +1,19 @@
+"""Setup shim.
+
+This environment has no `wheel` package and no network, so PEP 660
+editable installs fail; keeping a setup.py lets `pip install -e .` use the
+legacy `setup.py develop` path.
+"""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "SwitchFS/AsyncFS: asynchronous metadata updates for distributed "
+        "filesystems with in-network coordination (EuroSys 2026 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

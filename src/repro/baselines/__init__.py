@@ -1,0 +1,29 @@
+"""Baseline distributed filesystems on the shared substrate (§6.1)."""
+
+from .cephlike import CephLikeCluster
+from .cfskv import CFSKVCluster
+from .common import (
+    BaselineClient,
+    BaselineCluster,
+    BaselinePartition,
+    GroupedPartition,
+    PerFilePartition,
+    SubtreePartition,
+    SyncMetadataServer,
+)
+from .indexfs import IndexFSCluster
+from .infinifs import InfiniFSCluster
+
+__all__ = [
+    "BaselineCluster",
+    "BaselineClient",
+    "BaselinePartition",
+    "PerFilePartition",
+    "GroupedPartition",
+    "SubtreePartition",
+    "SyncMetadataServer",
+    "InfiniFSCluster",
+    "CFSKVCluster",
+    "IndexFSCluster",
+    "CephLikeCluster",
+]

@@ -1,0 +1,27 @@
+"""CFS-KV baseline (EuroSys'23 CFS's partition strategy, per §6.1).
+
+The paper builds CFS-KV by replacing InfiniFS's grouping with CFS's
+parent-children **separating** (per-file hashing) on the same codebase.
+File inodes spread evenly (perfect balance for single-inode ops), but
+every double-inode operation needs a cross-server transaction to update
+the remote parent directory — the overhead AsyncFS hides.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import FSConfig
+from ..net import FaultModel
+from .common import BaselineCluster, PerFilePartition
+
+__all__ = ["CFSKVCluster"]
+
+
+class CFSKVCluster(BaselineCluster):
+    """CFS-KV on the shared substrate: per-file partition + sync updates."""
+
+    system_name = "CFS-KV"
+
+    def __init__(self, config: FSConfig, faults: Optional[FaultModel] = None):
+        super().__init__(config, partition_cls=PerFilePartition, faults=faults)

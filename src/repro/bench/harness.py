@@ -1,0 +1,140 @@
+"""Closed-loop benchmark harness.
+
+Mirrors the paper's measurement methodology (§6.1/§6.2): clients keep a
+fixed number of requests in flight against the metadata cluster; peak
+throughput is found by increasing the in-flight level until throughput
+stops improving; latency is reported from single-client (or low
+in-flight) runs.
+
+The harness runs on virtual time: reported throughput is operations per
+*simulated* second, latency in simulated microseconds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..core.cluster import SwitchFSCluster
+from ..sim import AllOf, LatencyRecorder
+from ..workloads.generator import OpStream
+
+__all__ = ["RunResult", "run_stream", "find_peak_throughput"]
+
+
+@dataclass
+class RunResult:
+    """Measurements from one closed-loop run."""
+
+    ops_completed: int
+    sim_elapsed_us: float
+    wall_seconds: float
+    latency: LatencyRecorder
+    inflight: int
+
+    @property
+    def throughput_ops(self) -> float:
+        return self.ops_completed / (self.sim_elapsed_us / 1e6)
+
+    @property
+    def throughput_kops(self) -> float:
+        return self.throughput_ops / 1e3
+
+    @property
+    def mean_latency_us(self) -> float:
+        return self.latency.mean()
+
+    def p99_latency_us(self) -> float:
+        return self.latency.p(99)
+
+
+def run_stream(
+    cluster: SwitchFSCluster,
+    stream: OpStream,
+    total_ops: int,
+    inflight: int = 32,
+    warmup_ops: int = 0,
+    num_clients: int = 1,
+    op_label: Optional[str] = None,
+) -> RunResult:
+    """Run *total_ops* operations from *stream* with a fixed in-flight level.
+
+    Workers spread round-robin over *num_clients* LibFS instances.  The
+    measurement window opens after *warmup_ops* completions and closes
+    when the last measured op finishes.
+    """
+    if total_ops <= warmup_ops:
+        raise ValueError("total_ops must exceed warmup_ops")
+    sim = cluster.sim
+    latency = LatencyRecorder()
+    label = op_label or "all"
+    state = {"issued": 0, "completed": 0, "window_start": None, "window_end": None}
+
+    def worker(client_idx: int):
+        fs = cluster.client(client_idx)
+        while state["issued"] < total_ops:
+            state["issued"] += 1
+            thunk = stream.take()
+            t0 = sim.now
+            yield from thunk(fs)
+            state["completed"] += 1
+            if state["completed"] == warmup_ops:
+                state["window_start"] = sim.now
+            elif state["completed"] > warmup_ops:
+                elapsed = sim.now - t0
+                latency.record(elapsed, label)
+                if label != "all":
+                    latency.record(elapsed, "all")
+                # Per-op breakdown when the stream labels its thunks.
+                op_name = getattr(thunk, "op_name", None)
+                if op_name and op_name != label:
+                    latency.record(elapsed, op_name)
+                state["window_end"] = sim.now
+
+    def join(procs):
+        yield AllOf(sim, procs)
+
+    wall0 = time.time()
+    if warmup_ops == 0:
+        state["window_start"] = sim.now
+    procs = [
+        sim.spawn(worker(w % num_clients), name=f"bench-worker-{w}")
+        for w in range(inflight)
+    ]
+    sim.run_process(sim.spawn(join(procs), name="bench-join"))
+    window_start = state["window_start"]
+    window_end = state["window_end"] or sim.now
+    if window_start is None or window_end <= window_start:
+        raise RuntimeError("measurement window is empty; increase total_ops")
+    return RunResult(
+        ops_completed=total_ops - warmup_ops,
+        sim_elapsed_us=window_end - window_start,
+        wall_seconds=time.time() - wall0,
+        latency=latency,
+        inflight=inflight,
+    )
+
+
+def find_peak_throughput(
+    make_run: Callable[[int], RunResult],
+    inflight_levels: Sequence[int] = (16, 32, 64, 128),
+    tolerance: float = 1.02,
+) -> RunResult:
+    """Increase the in-flight level until throughput stops improving.
+
+    ``make_run(inflight)`` must build a **fresh** cluster and run the
+    workload.  Returns the best run.  Stops early when the next level
+    improves by less than ``tolerance``×.
+    """
+    best: Optional[RunResult] = None
+    for level in inflight_levels:
+        result = make_run(level)
+        if best is not None and result.throughput_ops < best.throughput_ops * tolerance:
+            if result.throughput_ops > best.throughput_ops:
+                best = result
+            break
+        if best is None or result.throughput_ops > best.throughput_ops:
+            best = result
+    assert best is not None
+    return best

@@ -1,0 +1,44 @@
+"""Parameter sweeps: build cluster × workload grids for the figures.
+
+Each benchmark file sweeps one axis (server count, cores, burst size,
+preceding creates, ...) across systems.  ``SYSTEMS`` maps the paper's
+system names to cluster factories on the shared substrate; shrunken
+default scales keep pytest-benchmark runs tractable while preserving the
+relative shapes (EXPERIMENTS.md records both).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..baselines import CephLikeCluster, CFSKVCluster, IndexFSCluster, InfiniFSCluster
+from ..core import FSConfig, SwitchFSCluster
+
+__all__ = ["SYSTEMS", "make_cluster", "scaled_config"]
+
+#: name -> cluster factory (config) -> cluster
+SYSTEMS: Dict[str, Callable] = {
+    "SwitchFS": lambda cfg: SwitchFSCluster(cfg),
+    "InfiniFS": lambda cfg: InfiniFSCluster(cfg),
+    "CFS-KV": lambda cfg: CFSKVCluster(cfg),
+    "IndexFS": lambda cfg: IndexFSCluster(cfg),
+    "Ceph": lambda cfg: CephLikeCluster(cfg),
+}
+
+
+def make_cluster(system: str, config: FSConfig):
+    try:
+        return SYSTEMS[system](config)
+    except KeyError:
+        raise ValueError(f"unknown system {system!r}; have {sorted(SYSTEMS)}") from None
+
+
+def scaled_config(
+    num_servers: int = 8,
+    cores_per_server: int = 4,
+    **overrides,
+) -> FSConfig:
+    """The benchmark default configuration (single-rack, switch backend)."""
+    return FSConfig(
+        num_servers=num_servers, cores_per_server=cores_per_server, **overrides
+    )

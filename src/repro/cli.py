@@ -1,0 +1,255 @@
+"""Command-line interface: run experiments without writing code.
+
+Examples
+--------
+::
+
+    python -m repro info
+    python -m repro throughput --system SwitchFS --op create --dirs 1 \\
+        --servers 8 --ops 4000
+    python -m repro compare --op create --dirs 1 --ops 2000
+    python -m repro workload --mix dcs --system SwitchFS --ops 3000
+    python -m repro faults --loss 0.1 --dup 0.05 --ops 200
+
+All numbers are virtual-time measurements from the deterministic
+simulation; repeated invocations with the same arguments reproduce the
+same results bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import SYSTEMS, make_cluster, print_table, run_stream, scaled_config
+from .core import FSConfig, SwitchFSCluster
+from .net import FaultModel
+from .sim import make_rng
+from .workloads import (
+    CNN_TRAINING_MIX,
+    DATA_CENTER_SERVICES_MIX,
+    FixedOpStream,
+    MixStream,
+    THUMBNAIL_MIX,
+    bootstrap,
+    multiple_directories,
+    single_large_directory,
+)
+
+__all__ = ["main"]
+
+MIXES = {
+    "dcs": DATA_CENTER_SERVICES_MIX,
+    "cnn": CNN_TRAINING_MIX,
+    "thumbnail": THUMBNAIL_MIX,
+}
+
+OPS = ["create", "delete", "mkdir", "rmdir", "stat", "open", "close", "statdir", "readdir"]
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--system", default="SwitchFS", choices=sorted(SYSTEMS),
+                        help="which filesystem to run (default: SwitchFS)")
+    parser.add_argument("--servers", type=int, default=8,
+                        help="metadata servers (default: 8)")
+    parser.add_argument("--cores", type=int, default=4,
+                        help="cores per server (default: 4)")
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ops", type=int, default=3000,
+                        help="operations to run (default: 3000)")
+    parser.add_argument("--inflight", type=int, default=64,
+                        help="concurrent requests (default: 64)")
+    parser.add_argument("--dirs", type=int, default=64,
+                        help="directories in the namespace (1 = hotspot)")
+    parser.add_argument("--files", type=int, default=None,
+                        help="pre-populated files per directory "
+                             "(default: sized to --ops)")
+
+
+def _population(args):
+    files = args.files if args.files is not None else max(8, args.ops // max(1, args.dirs) + 8)
+    if args.dirs == 1:
+        return single_large_directory(files)
+    return multiple_directories(args.dirs, files)
+
+
+def _build(args, system: Optional[str] = None):
+    config = scaled_config(num_servers=args.servers, cores_per_server=args.cores,
+                           seed=args.seed)
+    cluster = make_cluster(system or args.system, config)
+    population = bootstrap(cluster, _population(args), warm_clients=[0])
+    return cluster, population
+
+
+def cmd_info(args) -> int:
+    rows = [[name] for name in sorted(SYSTEMS)]
+    print_table("available systems", ["system"], rows)
+    print_table(
+        "workload mixes (--mix)",
+        ["name", "description"],
+        [
+            ["dcs", "PanguFS data-center-services mix (Table 5), 80/20 skew"],
+            ["cnn", "CNN-training lifecycle mix"],
+            ["thumbnail", "thumbnail-generation mix"],
+        ],
+    )
+    cfg = FSConfig()
+    print_table(
+        "FSConfig defaults",
+        ["knob", "value"],
+        [
+            ["num_servers", cfg.num_servers],
+            ["cores_per_server", cfg.cores_per_server],
+            ["async_updates / recast", f"{cfg.async_updates} / {cfg.recast}"],
+            ["stale set", f"{cfg.stale_stages} stages x 2^{cfg.stale_index_bits}"],
+            ["proactive push threshold", cfg.proactive_push_entries],
+            ["topology", cfg.topology],
+        ],
+    )
+    return 0
+
+
+def cmd_throughput(args) -> int:
+    cluster, population = _build(args)
+    stream = FixedOpStream(
+        args.op, population, seed=args.seed,
+        dir_choice="single" if args.dirs == 1 else "uniform",
+    )
+    result = run_stream(cluster, stream, total_ops=args.ops, inflight=args.inflight)
+    print_table(
+        f"{args.system}: {args.op} x {args.ops} over {args.dirs} dir(s)",
+        ["metric", "value"],
+        [
+            ["throughput", f"{result.throughput_kops:,.1f} Kops/s"],
+            ["avg latency", f"{result.mean_latency_us:,.1f} us"],
+            ["p99 latency", f"{result.p99_latency_us():,.1f} us"],
+            ["simulated time", f"{result.sim_elapsed_us/1000:,.2f} ms"],
+            ["wall time", f"{result.wall_seconds:,.2f} s"],
+        ],
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = []
+    for system in args.systems.split(","):
+        system = system.strip()
+        cluster, population = _build(args, system=system)
+        stream = FixedOpStream(
+            args.op, population, seed=args.seed,
+            dir_choice="single" if args.dirs == 1 else "uniform",
+        )
+        total = args.ops if system != "Ceph" else max(200, args.ops // 4)
+        result = run_stream(cluster, stream, total_ops=total, inflight=args.inflight)
+        rows.append([system, round(result.throughput_kops, 1),
+                     round(result.mean_latency_us, 1)])
+    print_table(
+        f"compare: {args.op} over {args.dirs} dir(s), "
+        f"{args.servers} servers x {args.cores} cores",
+        ["system", "Kops/s", "avg us"], rows,
+    )
+    return 0
+
+
+def cmd_workload(args) -> int:
+    cluster, population = _build(args)
+    stream = MixStream(MIXES[args.mix], population, seed=args.seed,
+                       data_enabled=not args.no_data)
+    result = run_stream(cluster, stream, total_ops=args.ops, inflight=args.inflight)
+    print_table(
+        f"{args.system} on mix {args.mix!r}",
+        ["metric", "value"],
+        [
+            ["end-to-end throughput", f"{result.throughput_kops:,.1f} Kops/s"],
+            ["avg latency", f"{result.mean_latency_us:,.1f} us"],
+            ["p99 latency", f"{result.p99_latency_us():,.1f} us"],
+        ],
+    )
+    return 0
+
+
+def cmd_faults(args) -> int:
+    faults = FaultModel(
+        make_rng(args.seed, "cli-faults"),
+        loss_prob=args.loss, dup_prob=args.dup,
+        reorder_prob=args.reorder, reorder_jitter_us=3.0,
+    )
+    config = scaled_config(num_servers=args.servers, cores_per_server=args.cores,
+                           seed=args.seed)
+    cluster = SwitchFSCluster(config, faults=faults)
+    fs = cluster.client(0)
+    cluster.run_op(fs.mkdir("/drill"))
+    for i in range(args.ops):
+        cluster.run_op(fs.create(f"/drill/f{i}"))
+    listing = cluster.run_op(fs.readdir("/drill"))
+    ok = len(listing["entries"]) == args.ops
+    print_table(
+        f"fault drill: {args.ops} creates under loss={args.loss} "
+        f"dup={args.dup} reorder={args.reorder}",
+        ["metric", "value"],
+        [
+            ["entries visible", f"{len(listing['entries'])} / {args.ops}"],
+            ["correct", "yes" if ok else "NO"],
+            ["client retransmits", fs.node.retransmits],
+            ["packets dropped", cluster.net.packets_dropped],
+            ["packets sent", cluster.net.packets_sent],
+        ],
+    )
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SwitchFS/AsyncFS reproduction — simulated experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="list systems, mixes, and defaults")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("throughput", help="closed-loop throughput of one op")
+    _add_cluster_args(p)
+    _add_workload_args(p)
+    p.add_argument("--op", default="create", choices=OPS)
+    p.set_defaults(fn=cmd_throughput)
+
+    p = sub.add_parser("compare", help="run one op across several systems")
+    _add_cluster_args(p)
+    _add_workload_args(p)
+    p.add_argument("--op", default="create", choices=OPS)
+    p.add_argument("--systems", default="SwitchFS,InfiniFS,CFS-KV",
+                   help="comma-separated system list")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("workload", help="run a Table-5 workload mix")
+    _add_cluster_args(p)
+    _add_workload_args(p)
+    p.add_argument("--mix", default="dcs", choices=sorted(MIXES))
+    p.add_argument("--no-data", action="store_true",
+                   help="skip modelled datanode reads/writes")
+    p.set_defaults(fn=cmd_workload)
+
+    p = sub.add_parser("faults", help="correctness drill on a lossy network")
+    _add_cluster_args(p)
+    p.add_argument("--ops", type=int, default=100)
+    p.add_argument("--loss", type=float, default=0.1)
+    p.add_argument("--dup", type=float, default=0.05)
+    p.add_argument("--reorder", type=float, default=0.1)
+    p.set_defaults(fn=cmd_faults)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""Per-directory change-logs and change-log recast (§4.3).
+
+A server keeps one change-log per *scattered* remote directory.  Each
+entry records a delayed parent-directory update: the timestamp, the
+operation type, and the entry name (Figure 6).
+
+**Recast** exploits the commutativity of directory updates: since the new
+``mtime`` is simply the maximum timestamp, entries' timestamps are
+consolidated into a single maximum as they are appended, and only the
+(op, name) pairs queue up for entry-list application.  The application of
+a recast log therefore needs **one** directory-inode transaction plus a
+set of independent entry-list puts/deletes — the independent part is what
+unlocks intra-server (multi-core) parallelism.
+
+Without recast (the +Async ablation), entries stay raw and application
+replays each one as its own inode transaction, serialising on the inode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ChangeOp", "ChangeLogEntry", "ChangeLog", "ChangeLogTable", "RecastLog"]
+
+
+class ChangeOp(enum.Enum):
+    """Delayed parent-directory update types."""
+
+    CREATE = "create"
+    DELETE = "delete"
+    MKDIR = "mkdir"
+    RMDIR = "rmdir"
+
+    @property
+    def entry_delta(self) -> int:
+        """Effect on the parent's entry count."""
+        return 1 if self in (ChangeOp.CREATE, ChangeOp.MKDIR) else -1
+
+    @property
+    def adds_entry(self) -> bool:
+        return self in (ChangeOp.CREATE, ChangeOp.MKDIR)
+
+
+@dataclass(frozen=True)
+class ChangeLogEntry:
+    """One delayed directory update (Figure 6)."""
+
+    timestamp: float
+    op: ChangeOp
+    name: str
+    is_dir: bool = False
+    perm: int = 0o644
+
+
+@dataclass
+class RecastLog:
+    """A change-log after recast: one consolidated timestamp + an op queue."""
+
+    dir_id: int
+    max_timestamp: float
+    entry_delta: int
+    ops: List[ChangeLogEntry]
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+
+@dataclass
+class ChangeLog:
+    """The change-log one server holds for one remote directory."""
+
+    dir_id: int
+    fingerprint: int
+    entries: List[ChangeLogEntry] = field(default_factory=list)
+    # WAL LSNs of the records covering these entries (marked applied on ack).
+    wal_lsns: List[int] = field(default_factory=list)
+    last_append_at: float = 0.0
+
+    def append(self, entry: ChangeLogEntry, lsn: int, now: float) -> None:
+        self.entries.append(entry)
+        self.wal_lsns.append(lsn)
+        self.last_append_at = now
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def recast(self) -> RecastLog:
+        """Consolidate timestamps; keep the op queue (§4.3 *Recast*)."""
+        if not self.entries:
+            return RecastLog(dir_id=self.dir_id, max_timestamp=0.0, entry_delta=0, ops=[])
+        return RecastLog(
+            dir_id=self.dir_id,
+            max_timestamp=max(e.timestamp for e in self.entries),
+            entry_delta=sum(e.op.entry_delta for e in self.entries),
+            ops=list(self.entries),
+        )
+
+    def drain(self) -> Tuple[List[ChangeLogEntry], List[int]]:
+        """Remove and return all entries with their WAL LSNs."""
+        entries, lsns = self.entries, self.wal_lsns
+        self.entries, self.wal_lsns = [], []
+        return entries, lsns
+
+
+class ChangeLogTable:
+    """All change-logs on one server, indexed by directory and fingerprint.
+
+    The fingerprint index exists because aggregation operates on whole
+    fingerprint groups (§4.1): a pull request names a fingerprint and must
+    collect the logs of every directory in that group.
+    """
+
+    def __init__(self):
+        self._by_dir: Dict[int, ChangeLog] = {}
+        self._dirs_by_fp: Dict[int, set] = {}
+        self.total_appends = 0
+
+    def log_for(self, dir_id: int, fingerprint: int) -> ChangeLog:
+        """Get or create the change-log for *dir_id*."""
+        log = self._by_dir.get(dir_id)
+        if log is None:
+            log = ChangeLog(dir_id=dir_id, fingerprint=fingerprint)
+            self._by_dir[dir_id] = log
+            self._dirs_by_fp.setdefault(fingerprint, set()).add(dir_id)
+        return log
+
+    def existing(self, dir_id: int) -> Optional[ChangeLog]:
+        return self._by_dir.get(dir_id)
+
+    def append(
+        self, dir_id: int, fingerprint: int, entry: ChangeLogEntry, lsn: int, now: float
+    ) -> ChangeLog:
+        log = self.log_for(dir_id, fingerprint)
+        log.append(entry, lsn, now)
+        self.total_appends += 1
+        return log
+
+    def logs_in_group(self, fingerprint: int) -> List[ChangeLog]:
+        """All non-empty change-logs in a fingerprint group."""
+        ids = self._dirs_by_fp.get(fingerprint, ())
+        return [self._by_dir[d] for d in ids if len(self._by_dir[d])]
+
+    def drain_group(self, fingerprint: int) -> List[Tuple[int, List[ChangeLogEntry], List[int]]]:
+        """Drain every log in the group; returns (dir_id, entries, lsns) triples."""
+        result = []
+        for log in self.logs_in_group(fingerprint):
+            entries, lsns = log.drain()
+            if entries:
+                result.append((log.dir_id, entries, lsns))
+        return result
+
+    def drain_all(self) -> List[Tuple[int, int, List[ChangeLogEntry], List[int]]]:
+        """Drain everything (switch-failure flush); (dir_id, fp, entries, lsns)."""
+        result = []
+        for dir_id, log in self._by_dir.items():
+            entries, lsns = log.drain()
+            if entries:
+                result.append((dir_id, log.fingerprint, entries, lsns))
+        return result
+
+    def pending_entries(self) -> int:
+        return sum(len(log) for log in self._by_dir.values())
+
+    def non_empty_groups(self) -> List[int]:
+        return [
+            fp
+            for fp, ids in self._dirs_by_fp.items()
+            if any(len(self._by_dir[d]) for d in ids)
+        ]
+
+    def clear(self) -> None:
+        self._by_dir.clear()
+        self._dirs_by_fp.clear()

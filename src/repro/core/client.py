@@ -1,0 +1,353 @@
+"""LibFS: the client-side library (§3.2).
+
+Clients link LibFS to talk to the metadata cluster.  It keeps a metadata
+cache for client-side path resolution (with server-side validation: every
+request ships the resolved ancestor directory ids, and servers reject
+requests whose ancestors appear in their invalidation lists — the client
+then invalidates its cache and retries).
+
+All operations are generators returning their result dict; latency is
+whatever virtual time elapses between call and return, which the bench
+harness records.  POSIX surface:
+
+``create, delete, mkdir, rmdir, stat, open, close, statdir, readdir,
+rename``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..net import RpcError, RpcNode, StaleSetHeader, StaleSetOp
+from ..net.topology import Network
+from ..sim import Counter, Simulator
+from .clustermap import ClusterMap
+from .config import FSConfig
+from .errors import EINVALIDPATH, ENOENT, FSError, fs_error
+from .schema import ROOT_ID, fingerprint_of, root_inode
+
+__all__ = ["LibFS", "ResolvedDir"]
+
+
+@dataclass(frozen=True)
+class ResolvedDir:
+    """A resolved directory: its id, fingerprint, inode key, and ancestry."""
+
+    id: int
+    fingerprint: int
+    pid: int
+    name: str
+    perm: int
+    ancestor_ids: Tuple[int, ...]  # ids along the path, root excluded, self included
+
+    @property
+    def key(self) -> Tuple[str, int, str]:
+        return ("D", self.pid, self.name)
+
+
+def split_path(path: str) -> Tuple[str, str]:
+    """Split an absolute path into (parent path, last component)."""
+    if not path.startswith("/") or path == "/":
+        raise ValueError(f"need an absolute non-root path, got {path!r}")
+    path = path.rstrip("/")
+    idx = path.rfind("/")
+    parent = path[:idx] or "/"
+    return parent, path[idx + 1 :]
+
+
+class LibFS:
+    """One client's filesystem handle."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        addr: str,
+        config: FSConfig,
+        cmap: ClusterMap,
+    ):
+        self.sim = sim
+        self.config = config
+        self.perf = config.perf
+        self.cmap = cmap
+        self.node = RpcNode(sim, net, addr)
+        self.counters = Counter()
+        root = root_inode()
+        self._root = ResolvedDir(
+            id=root.id,
+            fingerprint=root.fingerprint,
+            pid=root.pid,
+            name=root.name,
+            perm=root.perm,
+            ancestor_ids=(),
+        )
+        # path -> ResolvedDir for directories only.
+        self._cache: Dict[str, ResolvedDir] = {}
+
+    # ------------------------------------------------------------------
+    # path resolution
+    # ------------------------------------------------------------------
+    def resolve_dir(self, path: str) -> Generator:
+        """Resolve an absolute directory path to a :class:`ResolvedDir`.
+
+        Client-side: walks the metadata cache; cache misses issue
+        ``lookup_dir`` RPCs and populate the cache (§4.2.1 step 1).
+        """
+        if path == "/":
+            yield self.sim.timeout(self.perf.cache_lookup_us)
+            return self._root
+        cached = self._cache.get(path)
+        if cached is not None:
+            self.counters.inc("cache_hits")
+            yield self.sim.timeout(self.perf.cache_lookup_us)
+            return cached
+        self.counters.inc("cache_misses")
+        parent_path, name = split_path(path)
+        parent = yield from self.resolve_dir(parent_path)
+        fp = fingerprint_of(parent.id, name)
+        owner = self.cmap.dir_owner_by_fp(fp)
+        try:
+            value, _ = yield from self._call(owner, "lookup_dir", {"pid": parent.id, "name": name})
+        except FSError:
+            raise
+        value = value  # {"id", "fingerprint", "perm"}
+        resolved = ResolvedDir(
+            id=value["id"],
+            fingerprint=value["fingerprint"],
+            pid=parent.id,
+            name=name,
+            perm=value["perm"],
+            ancestor_ids=parent.ancestor_ids + (value["id"],),
+        )
+        self._cache[path] = resolved
+        return resolved
+
+    def invalidate_path(self, path: str) -> None:
+        """Drop every cached entry on *path* (server said our view is stale)."""
+        parts = path.rstrip("/").split("/")
+        prefix = ""
+        for part in parts[1:]:
+            prefix = f"{prefix}/{part}"
+            self._cache.pop(prefix, None)
+        # Also drop anything *under* the path (a removed subtree).
+        doomed = [p for p in self._cache if p.startswith(path.rstrip("/") + "/")]
+        for p in doomed:
+            del self._cache[p]
+
+    # ------------------------------------------------------------------
+    # POSIX operations
+    # ------------------------------------------------------------------
+    def create(self, path: str, perm: int = 0o644) -> Generator:
+        return (yield from self._file_double_op("create", path, perm=perm))
+
+    def delete(self, path: str) -> Generator:
+        return (yield from self._file_double_op("delete", path))
+
+    def _file_double_op(self, method: str, path: str, **extra: Any) -> Generator:
+        def attempt() -> Generator:
+            parent_path, name = split_path(path)
+            parent = yield from self.resolve_dir(parent_path)
+            owner = self.cmap.file_owner(parent.id, name)
+            args = {
+                "pid": parent.id,
+                "name": name,
+                "parent_fp": parent.fingerprint,
+                "ancestor_ids": parent.ancestor_ids,
+                "path": path,
+                **extra,
+            }
+            value, _ = yield from self._call(owner, method, args)
+            return value
+
+        return (yield from self._with_revalidation(attempt, path))
+
+    def mkdir(self, path: str, perm: int = 0o755) -> Generator:
+        def attempt() -> Generator:
+            parent_path, name = split_path(path)
+            parent = yield from self.resolve_dir(parent_path)
+            fp = fingerprint_of(parent.id, name)
+            owner = self.cmap.dir_owner_by_fp(fp)
+            args = {
+                "pid": parent.id,
+                "name": name,
+                "parent_fp": parent.fingerprint,
+                "ancestor_ids": parent.ancestor_ids,
+                "path": path,
+                "perm": perm,
+            }
+            value, _ = yield from self._call(owner, "mkdir", args)
+            return value
+
+        return (yield from self._with_revalidation(attempt, path))
+
+    def rmdir(self, path: str) -> Generator:
+        def attempt() -> Generator:
+            target = yield from self.resolve_dir(path)
+            parent_path, name = split_path(path)
+            parent = yield from self.resolve_dir(parent_path)
+            owner = self.cmap.dir_owner_by_fp(target.fingerprint)
+            args = {
+                "pid": parent.id,
+                "name": name,
+                "dir_id": target.id,
+                "fp": target.fingerprint,
+                "parent_fp": parent.fingerprint,
+                "ancestor_ids": parent.ancestor_ids,
+                "path": path,
+            }
+            value, _ = yield from self._call(owner, "rmdir", args)
+            self._cache.pop(path, None)
+            return value
+
+        return (yield from self._with_revalidation(attempt, path))
+
+    def stat(self, path: str) -> Generator:
+        return (yield from self._file_single_op("stat", path))
+
+    def open(self, path: str) -> Generator:
+        return (yield from self._file_single_op("open", path))
+
+    def close(self, path: str) -> Generator:
+        return (yield from self._file_single_op("close", path))
+
+    def _file_single_op(self, method: str, path: str) -> Generator:
+        def attempt() -> Generator:
+            parent_path, name = split_path(path)
+            parent = yield from self.resolve_dir(parent_path)
+            owner = self.cmap.file_owner(parent.id, name)
+            args = {
+                "pid": parent.id,
+                "name": name,
+                "ancestor_ids": parent.ancestor_ids,
+                "path": path,
+            }
+            value, _ = yield from self._call(owner, method, args)
+            return value
+
+        return (yield from self._with_revalidation(attempt, path))
+
+    def statdir(self, path: str) -> Generator:
+        return (yield from self._dir_read("statdir", path))
+
+    def readdir(self, path: str) -> Generator:
+        return (yield from self._dir_read("readdir", path))
+
+    def _dir_read(self, method: str, path: str) -> Generator:
+        """Directory reads carry a QUERY header the switch fills in (§4.2.2)."""
+
+        def attempt() -> Generator:
+            target = yield from self.resolve_dir(path)
+            owner = self.cmap.dir_owner_by_fp(target.fingerprint)
+            args = {
+                "pid": target.pid,
+                "name": target.name,
+                "fp": target.fingerprint,
+                "ancestor_ids": target.ancestor_ids[:-1],
+                "path": path,
+            }
+            header = None
+            if self.config.stale_backend == "switch":
+                fp = target.fingerprint
+                header = lambda attempt_no: StaleSetHeader(  # noqa: E731
+                    op=StaleSetOp.QUERY, fingerprint=fp
+                )
+            value, _ = yield from self._call(owner, method, args, make_header=header)
+            return value
+
+        return (yield from self._with_revalidation(attempt, path))
+
+    def rename(self, src: str, dst: str) -> Generator:
+        def attempt() -> Generator:
+            src_parent_path, src_name = split_path(src)
+            dst_parent_path, dst_name = split_path(dst)
+            src_parent = yield from self.resolve_dir(src_parent_path)
+            dst_parent = yield from self.resolve_dir(dst_parent_path)
+            # Directory-ness of the source: a cached dir entry or a probe.
+            is_dir = True
+            src_dir_id = None
+            try:
+                target = yield from self.resolve_dir(src)
+                src_dir_id = target.id
+            except FSError as exc:
+                if exc.code != ENOENT:
+                    raise
+                is_dir = False
+            args = {
+                "src_pid": src_parent.id,
+                "src_name": src_name,
+                "dst_pid": dst_parent.id,
+                "dst_name": dst_name,
+                "is_dir": is_dir,
+                "src_dir_id": src_dir_id,
+                "src_parent_fp": src_parent.fingerprint,
+                "dst_parent_fp": dst_parent.fingerprint,
+                "src_parent_key": list(src_parent.key),
+                "dst_parent_key": list(dst_parent.key),
+                "ancestor_ids": tuple(src_parent.ancestor_ids) + tuple(dst_parent.ancestor_ids),
+                "dst_ancestor_ids": dst_parent.ancestor_ids,
+                "path": src,
+            }
+            if is_dir:
+                # Directory renames delegate to the centralised coordinator
+                # (orphan-loop prevention needs global serialisation).
+                value, _ = yield from self._call(
+                    self.cmap.rename_coordinator, "rename", args
+                )
+            else:
+                # File renames cannot create loops: the client drives the
+                # distributed transaction itself, saving the coordinator
+                # round trip.
+                from .rename import rename_transaction
+
+                yield self.sim.timeout(self.perf.client_cpu_us)
+                try:
+                    value = yield from rename_transaction(
+                        self.node, self.sim, self.cmap, self.perf, args,
+                        async_updates=self.config.async_updates,
+                    )
+                except FSError:
+                    raise
+                except RpcError as exc:
+                    raise fs_error(str(exc)) from exc
+            self._cache.pop(src, None)
+            self.invalidate_path(src)
+            return value
+
+        return (yield from self._with_revalidation(attempt, src))
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _call(
+        self, dst: str, method: str, args: Dict[str, Any], make_header=None
+    ) -> Generator:
+        yield self.sim.timeout(self.perf.client_cpu_us)
+        try:
+            return (
+                yield from self.node.call(
+                    dst,
+                    method,
+                    args,
+                    make_header=make_header,
+                    timeout_us=self.perf.rpc_timeout_us,
+                    max_attempts=self.perf.rpc_max_attempts,
+                )
+            )
+        except FSError:
+            raise
+        except RpcError as exc:
+            raise fs_error(str(exc)) from exc
+
+    def _with_revalidation(self, attempt, path: str, retries: int = 2) -> Generator:
+        """Run *attempt*; on EINVALIDPATH invalidate the cache and retry."""
+        for i in range(retries + 1):
+            try:
+                return (yield from attempt())
+            except FSError as exc:
+                if exc.code == EINVALIDPATH and i < retries:
+                    self.counters.inc("cache_invalidations")
+                    self.invalidate_path(path)
+                    continue
+                raise
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,222 @@
+"""Cluster assembly: simulator + network + switch + servers + clients.
+
+:class:`SwitchFSCluster` wires the whole system of Figure 4 together and
+is the entry point examples, tests, and benchmarks use:
+
+>>> from repro.core import SwitchFSCluster, FSConfig
+>>> cluster = SwitchFSCluster(FSConfig(num_servers=4))
+>>> fs = cluster.client(0)
+>>> cluster.run_op(fs.mkdir("/projects"))
+{'status': 'ok', ...}
+
+It also drives the fault drills of §4.4/§6.7: switch failure (reset the
+stale set, flush every change-log, block operations until consistent) and
+server crash + WAL recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from ..net import (
+    FaultModel,
+    Network,
+    PassthroughSwitch,
+    RpcNode,
+    leaf_spine_path,
+    multi_spine_path,
+    single_rack_path,
+)
+from ..sim import AllOf, Simulator
+from ..switchfab import ProgrammableSwitch, StaleSetConfig, SwitchControlPlane
+from .client import LibFS
+from .clustermap import ClusterMap
+from .config import FSConfig
+from .server import MetadataServer
+from .staleset_backend import StaleSetServer
+
+__all__ = ["SwitchFSCluster"]
+
+
+class _RackMap:
+    """Host address -> rack index: servers and clients stripe round-robin."""
+
+    def __init__(self, num_racks: int):
+        self.num_racks = num_racks
+
+    def __getitem__(self, addr: str) -> int:
+        name, _, idx = addr.rpartition("-")
+        if idx.isdigit():
+            return int(idx) % self.num_racks
+        return 0  # singleton hosts (e.g. a stale-set server) sit in rack 0
+
+
+class SwitchFSCluster:
+    """A complete simulated SwitchFS deployment."""
+
+    def __init__(self, config: FSConfig, faults: Optional[FaultModel] = None):
+        self.config = config
+        self.sim = Simulator()
+        self.cmap = ClusterMap(config)
+
+        def make_programmable():
+            switch = ProgrammableSwitch(
+                stale_config=StaleSetConfig(
+                    num_stages=config.stale_stages, index_bits=config.stale_index_bits
+                ),
+                latency_us=config.perf.switch_latency_us,
+            )
+            switch.install_fingerprint_owner(self.cmap.dir_owner_by_fp)
+            return switch
+
+        self.spines: List[ProgrammableSwitch] = []
+        if config.stale_backend == "switch":
+            if config.topology == "single-rack":
+                self.switch: Optional[ProgrammableSwitch] = make_programmable()
+                path_fn = single_rack_path([self.switch])
+            else:
+                # Leaf-spine (§5.4): passthrough ToR leaves, programmable
+                # spines with directories range-partitioned by fingerprint.
+                self.spines = [
+                    make_programmable() for _ in range(config.num_spine_switches)
+                ]
+                self.switch = self.spines[0]
+                leaves = {
+                    r: PassthroughSwitch(latency_us=config.perf.switch_latency_us)
+                    for r in range(config.num_racks)
+                }
+                rack_of = _RackMap(config.num_racks)
+                if len(self.spines) == 1:
+                    path_fn = leaf_spine_path(rack_of, leaves, self.spines[0])
+                else:
+                    path_fn = multi_spine_path(rack_of, leaves, self.spines)
+            self.control = SwitchControlPlane(self.switch)
+        else:
+            self.switch = None
+            self.control = None
+            path_fn = single_rack_path(
+                [PassthroughSwitch(latency_us=config.perf.switch_latency_us)]
+            )
+
+        self.net = Network(
+            self.sim,
+            path_fn,
+            link_latency_us=config.perf.link_latency_us,
+            faults=faults,
+        )
+
+        self.servers: List[MetadataServer] = [
+            MetadataServer(self.sim, self.net, config.server_addr(i), config, self.cmap)
+            for i in range(config.num_servers)
+        ]
+        for server in self.servers:
+            server.install_root()
+
+        self.staleset_server: Optional[StaleSetServer] = None
+        if config.stale_backend == "server":
+            node = RpcNode(self.sim, self.net, config.staleset_server_addr)
+            self.staleset_server = StaleSetServer(self.sim, node, config)
+
+        self._clients: Dict[int, LibFS] = {}
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def client(self, idx: int = 0) -> LibFS:
+        """Get (or lazily create) client *idx*'s LibFS handle."""
+        fs = self._clients.get(idx)
+        if fs is None:
+            fs = LibFS(
+                self.sim, self.net, self.config.client_addr(idx), self.config, self.cmap
+            )
+            self._clients[idx] = fs
+        return fs
+
+    def server(self, idx: int) -> MetadataServer:
+        return self.servers[idx]
+
+    def server_by_addr(self, addr: str) -> MetadataServer:
+        for server in self.servers:
+            if server.addr == addr:
+                return server
+        raise KeyError(addr)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run_op(self, gen: Generator, until: Optional[float] = None):
+        """Run a single client operation to completion, returning its value."""
+        proc = self.sim.spawn(gen, name="op")
+        return self.sim.run_process(proc, until=until)
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    def settle(self, quiet_us: float = 20_000.0) -> None:
+        """Run until all proactive aggregation activity has drained.
+
+        Advances virtual time in *quiet_us* slices until no server holds
+        pending change-log entries (useful before asserting final state).
+        """
+        for _ in range(200):
+            self.sim.run(until=self.sim.now + quiet_us)
+            if all(s.pending_changelog_entries() == 0 for s in self.servers):
+                # One more slice so in-flight acks land.
+                self.sim.run(until=self.sim.now + quiet_us)
+                return
+        raise RuntimeError("cluster did not settle: change-log entries stuck")
+
+    # ------------------------------------------------------------------
+    # fault drills (§4.4, §6.7)
+    # ------------------------------------------------------------------
+    def fail_switch(self) -> float:
+        """Crash the switch and run the flush-based recovery.
+
+        Returns the simulated recovery duration in microseconds.  All
+        filesystem operations are blocked during recovery (§4.4.2).
+        """
+        if self.switch is None:
+            raise RuntimeError("no programmable switch in server-backend mode")
+        start = self.sim.now
+        for switch in self.spines or [self.switch]:
+            switch.reset()
+        for server in self.servers:
+            server.begin_recovery()
+
+        def drive():
+            flushes = [
+                self.sim.spawn(server.flush_all_changelogs(), name="flush")
+                for server in self.servers
+            ]
+            yield AllOf(self.sim, flushes)
+            for server in self.servers:
+                server.end_recovery()
+
+        proc = self.sim.spawn(drive(), name="switch-recovery")
+        self.sim.run_process(proc)
+        return self.sim.now - start
+
+    def crash_server(self, idx: int) -> None:
+        """Server *idx* loses all DRAM state and stops answering."""
+        self.servers[idx].crash()
+
+    def recover_server(self, idx: int) -> float:
+        """WAL-replay recovery of server *idx*; returns simulated duration."""
+        server = self.servers[idx]
+        peer = next(a for a in self.cmap.server_addrs if a != server.addr) \
+            if self.config.num_servers > 1 else None
+        start = self.sim.now
+        proc = self.sim.spawn(server.recover(peer=peer), name="server-recovery")
+        self.sim.run_process(proc)
+        return self.sim.now - start
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def total_pending_entries(self) -> int:
+        return sum(s.pending_changelog_entries() for s in self.servers)
+
+    def switch_stats(self):
+        if self.control is None:
+            return None
+        return self.control.stats()

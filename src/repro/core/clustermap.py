@@ -1,0 +1,59 @@
+"""Cluster membership and partition routing.
+
+Both clients (LibFS) and servers consult the same :class:`ClusterMap` to
+route metadata operations:
+
+* file inodes partition by hashing ``(pid, name)`` — per-file granularity
+  (§3.3);
+* directory inodes partition by fingerprint, which guarantees that all
+  directories in a fingerprint group share one owner server (§4.1);
+* the rename coordinator is a fixed, well-known server (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .config import FSConfig
+from .schema import fingerprint_of, owner_of_dir, owner_of_file
+
+__all__ = ["ClusterMap"]
+
+
+class ClusterMap:
+    """Routing functions derived from the cluster configuration."""
+
+    def __init__(self, config: FSConfig):
+        self.config = config
+
+    @property
+    def num_servers(self) -> int:
+        return self.config.num_servers
+
+    @property
+    def server_addrs(self) -> List[str]:
+        return self.config.server_addrs
+
+    def file_owner(self, pid: int, name: str) -> str:
+        """Owner server address for file ``name`` under directory *pid*."""
+        return self.config.server_addr(
+            owner_of_file(pid, name, self.config.num_servers)
+        )
+
+    def dir_owner_by_fp(self, fingerprint: int) -> str:
+        """Owner server address for a directory fingerprint group."""
+        return self.config.server_addr(
+            owner_of_dir(fingerprint, self.config.num_servers)
+        )
+
+    def dir_owner(self, pid: int, name: str) -> str:
+        return self.dir_owner_by_fp(fingerprint_of(pid, name))
+
+    def others(self, addr: str) -> List[str]:
+        """All server addresses except *addr* (multicast targets)."""
+        return [a for a in self.server_addrs if a != addr]
+
+    @property
+    def rename_coordinator(self) -> str:
+        """The centralised rename coordinator (avoids orphaned loops, §4.2)."""
+        return self.config.server_addr(0)

@@ -1,0 +1,59 @@
+"""Server-side invalidation lists (§3.2, §4.2.3).
+
+Clients resolve paths from their local metadata cache, so a concurrently
+removed ancestor directory could let a stale client operate under a dead
+path.  Every server keeps an *invalidation list* of recently removed
+directory ids; the server-side validation check of each operation rejects
+requests whose resolved ancestor ids intersect the list, forcing the
+client to invalidate its cache and re-resolve.
+
+During ``rmdir`` the owner multicasts the directory's id to all servers,
+which insert it into their local lists *before* shipping their change-log
+entries back (Figure 5, steps 4-6) — guaranteeing no later operation
+sneaks into the dying directory.
+
+After a server failure the list is recovered by cloning a peer's (§4.4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+__all__ = ["InvalidationList"]
+
+
+class InvalidationList:
+    """A set of invalidated (removed) directory ids."""
+
+    def __init__(self):
+        self._ids: Set[int] = set()
+        self.checks = 0
+        self.rejections = 0
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, dir_id: int) -> bool:
+        return dir_id in self._ids
+
+    def insert(self, dir_id: int) -> None:
+        self._ids.add(dir_id)
+
+    def validate(self, ancestor_ids: Iterable[int]) -> bool:
+        """True when *no* ancestor has been invalidated."""
+        self.checks += 1
+        for dir_id in ancestor_ids:
+            if dir_id in self._ids:
+                self.rejections += 1
+                return False
+        return True
+
+    def snapshot(self) -> Set[int]:
+        """A copy for cloning to a recovering server (§4.4.2)."""
+        return set(self._ids)
+
+    def restore(self, ids: Set[int]) -> None:
+        self._ids = set(ids)
+
+    def clear(self) -> None:
+        self._ids.clear()

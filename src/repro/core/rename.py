@@ -1,0 +1,326 @@
+"""Rename: a synchronous distributed transaction (§4.2).
+
+Rename is the one metadata operation AsyncFS does **not** make
+asynchronous: it touches up to four inodes (source and destination
+inodes and both parent directories), so it runs as a two-phase-commit
+transaction across their owners.
+
+**Directory renames** go through a single well-known coordinator and
+first force-aggregate the affected fingerprint groups — the coordinator
+serialisation plus the loop check below prevent orphaned loops, and the
+aggregation applies all delayed updates to the moving directory before
+it changes identity (§4.2: "if the source is a directory, AsyncFS
+initiates an aggregation to apply all delayed updates before rename").
+
+**File renames** stay on the fast path: no global serialisation, no
+aggregation, and — in async mode — **no parent inode locks at all**.
+Only the source and destination file inodes are locked (in one global
+key order, so concurrent renames never deadlock); the parent directory
+fix-ups take the same deferred change-log path as create/delete: the
+commit appends a ``DELETE(src)`` entry at the source owner and a
+``CREATE(dst)`` entry at the destination owner, and the self-addressed
+``mark_entry`` response carries the stale-set ``INSERT`` for the parent.
+
+Correctness against earlier pending entries falls out of placement:
+per-file partitioning puts the pending ``CREATE(src)`` on the *same
+server* (same change-log) where the rename appends its ``DELETE(src)``,
+so per-name application order is append order; entries for distinct
+names commute.  The synchronous baseline (``async_updates=False``)
+instead locks the parents and applies presence-aware *entry ops* in the
+commit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Dict, Generator, List, TYPE_CHECKING
+
+from .errors import EEXIST, EINVAL, ENOENT, FSError
+from .schema import (
+    dir_entry_key,
+    dir_meta_key,
+    file_meta_key,
+    fingerprint_of,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import MetadataServer
+
+__all__ = ["run_rename", "rename_transaction"]
+
+_txn_ids = itertools.count(1)
+
+
+class _Plan:
+    """Per-participant accumulation of locks, expectations, and ops."""
+
+    def __init__(self):
+        self.by_server: Dict[str, Dict[str, list]] = {}
+
+    def _slot(self, addr: str) -> Dict[str, list]:
+        return self.by_server.setdefault(
+            addr,
+            {
+                "lock_keys": [],
+                "expect": [],
+                "ops": [],
+                "entry_ops": [],
+                "async_entries": [],
+                "dir_index": [],
+                "dir_index_drop": [],
+            },
+        )
+
+    def lock(self, addr: str, key) -> None:
+        slot = self._slot(addr)
+        if list(key) not in slot["lock_keys"]:
+            slot["lock_keys"].append(list(key))
+
+    def expect(self, addr: str, key, must_exist: bool) -> None:
+        self.lock(addr, key)
+        self._slot(addr)["expect"].append((list(key), must_exist))
+
+    def put(self, addr: str, key, value) -> None:
+        self.lock(addr, key)
+        self._slot(addr)["ops"].append(("put", list(key), value))
+
+    def delete(self, addr: str, key) -> None:
+        self.lock(addr, key)
+        self._slot(addr)["ops"].append(("delete", list(key), None))
+
+    def entry_op(self, addr: str, parent_key, parent_id, name, add, is_dir, ts) -> None:
+        """A presence-aware parent entry-list fix-up + inode touch."""
+        self.lock(addr, parent_key)
+        self._slot(addr)["entry_ops"].append(
+            (list(parent_key), parent_id, name, add, is_dir, ts)
+        )
+
+    def async_entry(self, addr: str, parent_id, parent_fp, entry) -> None:
+        """A deferred parent update appended at *addr* during commit."""
+        self._slot(addr)["async_entries"].append((parent_id, parent_fp, entry))
+
+    def index(self, addr: str, dir_id: int, key) -> None:
+        self._slot(addr)["dir_index"].append((dir_id, list(key)))
+
+    def index_drop(self, addr: str, dir_id: int) -> None:
+        self._slot(addr)["dir_index_drop"].append(dir_id)
+
+
+def run_rename(server: "MetadataServer", args: Dict[str, Any]) -> Generator:
+    """Coordinator-side rename workflow (directory renames).
+
+    File renames normally run client-driven via
+    :func:`rename_transaction`; this coordinator path still handles them
+    for clients that choose to delegate.
+    """
+    sim, cmap, perf = server.sim, server.cmap, server.perf
+    node = server.node
+
+    is_dir = args["is_dir"]
+    serialise = is_dir  # directory renames only (orphan-loop prevention)
+    if serialise:
+        if not hasattr(server, "_rename_serial"):
+            from ..sim import Lock
+
+            server._rename_serial = Lock(sim)
+        yield server._rename_serial.acquire()
+    try:
+        yield from server._cpu(perf.path_check_us)
+        if not server.inval.validate(args.get("ancestor_ids", ())):
+            raise FSError("EINVALIDPATH", args.get("path", "?"))
+        result = yield from rename_transaction(
+            node, sim, cmap, perf, args,
+            async_updates=server.config.async_updates,
+        )
+        server.counters.inc("renames")
+        return result
+    finally:
+        if serialise:
+            server._rename_serial.release()
+
+
+def rename_transaction(node, sim, cmap, perf, args: Dict[str, Any],
+                       async_updates: bool = True) -> Generator:
+    """The rename distributed transaction, drivable from any RPC node.
+
+    File renames are driven directly by the client (no coordinator hop);
+    directory renames run under the coordinator (see :func:`run_rename`).
+    """
+    is_dir = args["is_dir"]
+    src_pid, src_name = args["src_pid"], args["src_name"]
+    dst_pid, dst_name = args["dst_pid"], args["dst_name"]
+
+    if is_dir and args.get("src_dir_id") in args.get("dst_ancestor_ids", ()):
+        raise FSError(EINVAL, "rename would create an orphaned loop")
+    if src_pid == dst_pid and src_name == dst_name:
+        return {"status": "ok"}  # rename to self is a no-op
+
+    # -- directory renames: aggregate affected groups first ----------------
+    if is_dir and async_updates:
+        fps = {
+            args["src_parent_fp"],
+            args["dst_parent_fp"],
+            fingerprint_of(src_pid, src_name),
+        }
+        for fp in sorted(fps):
+            owner = cmap.dir_owner_by_fp(fp)
+            yield from node.call(
+                owner, "aggregate_now", {"fp": fp},
+                timeout_us=perf.rpc_timeout_us,
+                max_attempts=perf.rpc_max_attempts,
+            )
+
+    # -- read state and build the plan ------------------------------------
+    src_fp = fingerprint_of(src_pid, src_name)
+    dst_fp = fingerprint_of(dst_pid, dst_name)
+    if is_dir:
+        src_key, dst_key = dir_meta_key(src_pid, src_name), dir_meta_key(dst_pid, dst_name)
+        src_owner = cmap.dir_owner_by_fp(src_fp)
+        dst_owner = cmap.dir_owner_by_fp(dst_fp)
+    else:
+        src_key, dst_key = file_meta_key(src_pid, src_name), file_meta_key(dst_pid, dst_name)
+        src_owner = cmap.file_owner(src_pid, src_name)
+        dst_owner = cmap.file_owner(dst_pid, dst_name)
+
+    src_parent_owner = cmap.dir_owner_by_fp(args["src_parent_fp"])
+    dst_parent_owner = cmap.dir_owner_by_fp(args["dst_parent_fp"])
+
+    now = sim.now
+    txn_id = next(_txn_ids)
+
+    # For directory renames (rare, globally serialised) we read the source
+    # inode up front — the migration scan needs its id.  File renames fold
+    # the read into the source-key lock below.
+    src_inode = None
+    if is_dir:
+        value, _ = yield from node.call(
+            src_owner, "read_inode", {"key": src_key},
+            timeout_us=perf.rpc_timeout_us, max_attempts=perf.rpc_max_attempts,
+        )
+        src_inode = value["inode"]
+
+    # -- round 1: locks in one global key order (checks/reads folded in) -----
+    # Concurrent renames acquire overlapping keys in the same order, so
+    # they never deadlock on each other.
+    #
+    # File renames in async mode lock only the two file inodes: the parent
+    # fix-ups take the deferred change-log path (appended at commit on the
+    # same servers, preserving per-name order against any pending
+    # create/delete of the same names), so the hot parent inodes are never
+    # locked — the whole point of asynchronous directory updates.
+    lock_specs = {
+        tuple(src_key): (src_owner, {"expect": True, "want_inode": not is_dir}),
+        tuple(dst_key): (dst_owner, {"expect": False}),
+    }
+    defer_parents = (not is_dir) and async_updates
+    if not defer_parents:
+        lock_specs.setdefault(tuple(args["src_parent_key"]), (src_parent_owner, {}))
+        lock_specs.setdefault(tuple(args["dst_parent_key"]), (dst_parent_owner, {}))
+    locked_at = []
+    failed_vote = None
+    try:
+        for key in sorted(lock_specs.keys()):
+            addr, extra = lock_specs[key]
+            value, _ = yield from node.call(
+                addr, "rename_lock",
+                {"txn_id": txn_id, "key": list(key), **extra},
+                timeout_us=perf.rpc_timeout_us, max_attempts=perf.rpc_max_attempts,
+            )
+            if addr not in locked_at:
+                locked_at.append(addr)
+            if not value["vote"]:
+                failed_vote = value
+                break
+            if value.get("inode") is not None:
+                src_inode = value["inode"]
+
+        if failed_vote is None:
+            # -- build the commit plan (all state known, all locks held) -----
+            plan = _Plan()
+            plan.delete(src_owner, src_key)
+            if is_dir:
+                moved = dataclasses.replace(
+                    src_inode, pid=dst_pid, name=dst_name, fingerprint=dst_fp
+                )
+                plan.index_drop(src_owner, src_inode.id)
+                plan.index(dst_owner, src_inode.id, dst_key)
+                if src_owner != dst_owner:
+                    # The entry list keys on the (permanent) dir id, so it
+                    # migrates with the inode to the new fingerprint owner.
+                    e_value, _ = yield from node.call(
+                        src_owner, "read_inode_scan",
+                        {"prefix": ["E", src_inode.id]},
+                        timeout_us=perf.rpc_timeout_us,
+                        max_attempts=perf.rpc_max_attempts,
+                    )
+                    for ekey, evalue in e_value["items"]:
+                        plan.delete(src_owner, tuple(ekey))
+                        plan.put(dst_owner, tuple(ekey), evalue)
+            else:
+                moved = dataclasses.replace(src_inode, pid=dst_pid, name=dst_name)
+            plan.put(dst_owner, dst_key, moved)
+            if defer_parents:
+                from .changelog import ChangeLogEntry, ChangeOp
+
+                plan.async_entry(
+                    src_owner, src_pid, args["src_parent_fp"],
+                    ChangeLogEntry(timestamp=now, op=ChangeOp.DELETE,
+                                   name=src_name, is_dir=False),
+                )
+                plan.async_entry(
+                    dst_owner, dst_pid, args["dst_parent_fp"],
+                    ChangeLogEntry(timestamp=now, op=ChangeOp.CREATE,
+                                   name=dst_name, is_dir=False,
+                                   perm=moved.perm),
+                )
+            else:
+                plan.entry_op(
+                    src_parent_owner, args["src_parent_key"], src_pid, src_name,
+                    add=False, is_dir=is_dir, ts=now,
+                )
+                plan.entry_op(
+                    dst_parent_owner, args["dst_parent_key"], dst_pid, dst_name,
+                    add=True, is_dir=is_dir, ts=now,
+                )
+            for addr in locked_at:
+                if addr not in plan.by_server:
+                    plan._slot(addr)  # participant with locks but no ops
+
+            # -- round 2: commits, in parallel (they cannot fail) ------------
+            from ..sim import AllOf
+
+            commit_procs = [
+                sim.spawn(
+                    node.call(
+                        addr, "rename_commit",
+                        {
+                            "txn_id": txn_id,
+                            "ops": slot["ops"],
+                            "entry_ops": slot["entry_ops"],
+                            "async_entries": slot["async_entries"],
+                            "dir_index": slot["dir_index"],
+                            "dir_index_drop": slot["dir_index_drop"],
+                        },
+                        timeout_us=perf.rpc_timeout_us,
+                        max_attempts=perf.rpc_max_attempts,
+                    ),
+                    name="rename-commit",
+                )
+                for addr, slot in plan.by_server.items()
+            ]
+            yield AllOf(sim, commit_procs)
+            return {"status": "ok"}
+    except Exception:
+        # Release every lock the transaction holds, then re-raise.
+        for addr in locked_at:
+            node.notify(addr, "rename_abort", {"txn_id": txn_id})
+        raise
+    for addr in locked_at:
+        yield from node.call(
+            addr, "rename_abort", {"txn_id": txn_id},
+            timeout_us=perf.rpc_timeout_us, max_attempts=perf.rpc_max_attempts,
+        )
+    if failed_vote["exists"]:
+        raise FSError(EEXIST, f"{dst_pid}/{dst_name}")
+    raise FSError(ENOENT, f"{tuple(failed_vote['key'])}")

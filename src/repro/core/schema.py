@@ -1,0 +1,160 @@
+"""Metadata scheme: keys, inodes, fingerprints, and partitioning (§3.3).
+
+Every metadata object is a key-value pair (Table 3):
+
+* **Dir Metadata** — key ``("D", pid, name)``, value :class:`DirInode`;
+  partitioned by the directory's 49-bit fingerprint so that all
+  directories in a *fingerprint group* live on the same server.
+* **Dir Entry** — key ``("E", dir_id, entry_name)``, value
+  :class:`DirEntry`; always stored on the same server as the directory
+  (key prefix is the directory's own id, so the entry list co-locates and
+  prefix-scans in name order).
+* **File Metadata** — key ``("F", pid, name)``, value :class:`FileInode`;
+  partitioned by hashing ``(pid, name)`` — per-file granularity for load
+  balance.
+
+Directory ids are 256-bit values, unique and permanent (assigned at
+mkdir).  Fingerprints are 49 bits — 17 set-index bits + 32 tag bits — with
+tag 0 remapped (0 marks an empty switch register).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..net.packet import FINGERPRINT_BITS
+
+__all__ = [
+    "ROOT_ID",
+    "ROOT_NAME",
+    "DirInode",
+    "FileInode",
+    "DirEntry",
+    "dir_meta_key",
+    "dir_entry_key",
+    "file_meta_key",
+    "new_dir_id",
+    "fingerprint_of",
+    "owner_of_file",
+    "owner_of_dir",
+    "root_inode",
+]
+
+#: The root directory's permanent 256-bit id and reserved parent id.
+ROOT_ID = 1
+ROOT_NAME = "/"
+_ROOT_PARENT = 0
+
+_TAG_MASK = (1 << 32) - 1
+
+
+def _h256(*parts) -> int:
+    digest = hashlib.sha256("\x00".join(str(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest, "big")
+
+
+def new_dir_id(pid: int, name: str, nonce: int) -> int:
+    """A unique, permanent 256-bit directory id (§3.3).
+
+    *nonce* (a server-local counter) keeps ids unique even if the same
+    (pid, name) is created, removed, and created again.
+    """
+    return _h256("dirid", pid, name, nonce) % (1 << 256)
+
+
+def fingerprint_of(pid: int, name: str) -> int:
+    """The 49-bit fingerprint of directory *name* under parent *pid*.
+
+    Multiple directories may share a fingerprint (a *fingerprint group*).
+    A fingerprint whose 32 tag bits are zero is remapped to tag 1, since
+    the switch reserves register value 0 for "empty".
+    """
+    fp = _h256("fp", pid, name) & ((1 << FINGERPRINT_BITS) - 1)
+    if fp & _TAG_MASK == 0:
+        fp |= 1
+    return fp
+
+
+def owner_of_file(pid: int, name: str, num_servers: int) -> int:
+    """Per-file hash partitioning: the server index owning a file inode."""
+    return _h256("file-owner", pid, name) % num_servers
+
+
+def owner_of_dir(fingerprint: int, num_servers: int) -> int:
+    """Directory partitioning by fingerprint.
+
+    Using the fingerprint (not the full id/name hash) guarantees that all
+    directories of a fingerprint group land on the same server, which is
+    what lets an aggregation handle the whole group locally (§4.1).
+    """
+    return fingerprint % num_servers
+
+
+# -- keys ----------------------------------------------------------------------
+
+def dir_meta_key(pid: int, name: str) -> Tuple[str, int, str]:
+    return ("D", pid, name)
+
+
+def dir_entry_key(dir_id: int, entry_name: str) -> Tuple[str, int, str]:
+    return ("E", dir_id, entry_name)
+
+
+def file_meta_key(pid: int, name: str) -> Tuple[str, int, str]:
+    return ("F", pid, name)
+
+
+# -- values -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DirInode:
+    """Directory metadata (the "Dir Metadata" value of Table 3)."""
+
+    id: int
+    pid: int
+    name: str
+    fingerprint: int
+    perm: int = 0o755
+    ctime: float = 0.0
+    mtime: float = 0.0
+    entry_count: int = 0
+
+    def touched(self, mtime: float, entry_delta: int = 0) -> "DirInode":
+        """Copy with updated mtime and entry count (inode update)."""
+        return replace(
+            self,
+            mtime=max(self.mtime, mtime),
+            entry_count=self.entry_count + entry_delta,
+        )
+
+
+@dataclass(frozen=True)
+class FileInode:
+    """Regular-file metadata (the "File Metadata" value of Table 3)."""
+
+    pid: int
+    name: str
+    perm: int = 0o644
+    ctime: float = 0.0
+    mtime: float = 0.0
+    size: int = 0
+
+
+@dataclass(frozen=True)
+class DirEntry:
+    """One directory-entry value: file type and permissions (Table 3)."""
+
+    is_dir: bool
+    perm: int
+
+
+def root_inode() -> DirInode:
+    """The preinstalled root directory inode."""
+    return DirInode(
+        id=ROOT_ID,
+        pid=_ROOT_PARENT,
+        name=ROOT_NAME,
+        fingerprint=fingerprint_of(_ROOT_PARENT, ROOT_NAME),
+    )

@@ -1,0 +1,1396 @@
+"""The SwitchFS metadata server (§4).
+
+Each server owns a per-file-hashed partition of inodes, a local
+change-log table for delayed remote-directory updates, an invalidation
+list, a WAL, and a pool of CPU cores.  The op workflows follow §4.2:
+
+* **Double-inode ops** (``create``, ``delete``, ``mkdir``, ``rmdir``)
+  execute entirely on the server owning the *target* object.  The parent
+  directory's update is appended to a local change-log and the response
+  leaves with an ``INSERT`` stale-set header; the switch marks the parent
+  *scattered* and multicasts the response to the client (completion) and
+  back to this server (unlock).  On stale-set overflow the switch
+  redirects the response to the parent's owner, which applies the update
+  synchronously (fallback) before completing the operation.
+
+* **Directory reads** (``statdir``, ``readdir``) arrive with a ``QUERY``
+  header whose RET bit the switch filled in.  A scattered directory
+  triggers a **metadata aggregation**: block reads on the fingerprint
+  group, pull change-logs from all servers, apply them (recast: one inode
+  transaction + parallel entry ops), multicast an acknowledgment carrying
+  a ``REMOVE`` header, unblock.
+
+* **Rename** moves the inode in a synchronous distributed transaction
+  (global-key-order locking, deadlock-free); the parent entry fix-ups
+  take the deferred change-log path for file renames, while directory
+  renames serialise through the centralised coordinator and aggregate
+  the affected fingerprint groups first (see :mod:`repro.core.rename`).
+
+Feature flags (``config.async_updates`` / ``config.recast``) switch the
+server into the ablation modes of §6.5.1, and ``config.stale_backend``
+swaps the in-network stale set for a stale-set *server* (§6.5.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..kvstore import KeyNotFound, KVStore
+from ..net import (
+    Packet,
+    Reply,
+    RpcError,
+    RpcNode,
+    RpcRequest,
+    RpcResponse,
+    StaleSetHeader,
+    StaleSetOp,
+)
+from ..net.topology import Network
+from ..sim import AllOf, Event, Resource, RWLock, Simulator, Counter
+from .changelog import ChangeLog, ChangeLogEntry, ChangeLogTable, ChangeOp
+from .clustermap import ClusterMap
+from .config import FSConfig
+from .errors import EEXIST, EINVALIDPATH, ENOENT, ENOTEMPTY, FSError
+from .invalidation import InvalidationList
+from .schema import (
+    DirEntry,
+    DirInode,
+    FileInode,
+    dir_entry_key,
+    dir_meta_key,
+    file_meta_key,
+    fingerprint_of,
+    new_dir_id,
+    root_inode,
+)
+from .staleset_backend import ServerBackendClient
+
+__all__ = ["MetadataServer"]
+
+_unlock_tokens = itertools.count(1)
+
+
+class MetadataServer:
+    """One SwitchFS metadata server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        addr: str,
+        config: FSConfig,
+        cmap: ClusterMap,
+    ):
+        self.sim = sim
+        self.addr = addr
+        self.config = config
+        self.perf = config.perf
+        self.cmap = cmap
+        self.node = RpcNode(sim, net, addr)
+        self.kv = KVStore()
+        self.wal = self.kv.wal  # one shared WAL per server
+        self.changelogs = ChangeLogTable()
+        self.inval = InvalidationList()
+        self.cores = Resource(sim, config.cores_per_server)
+        self.counters = Counter()
+
+        self._inode_locks: Dict[Tuple, RWLock] = {}
+        self._changelog_locks: Dict[int, RWLock] = {}
+        self._group_blocks: Dict[int, Event] = {}
+        self._pending_unlocks: Dict[int, Dict[str, Any]] = {}
+        # Maps a directory id to its inode key, for change-log application.
+        self._dir_index: Dict[int, Tuple] = {}
+        self._dir_nonce = 0
+        self._remove_seq = 0
+        self._grace_pending: Dict[int, bool] = {}
+        # Change-log write locks held between an agg_pull and its ack (§4.2.2
+        # step 9a): fp -> list of held RWLocks, plus waiters for release.
+        self._pull_locks: Dict[int, List[RWLock]] = {}
+        self._pull_waiters: Dict[int, Event] = {}
+        self._last_push_at: Dict[int, float] = {}
+        self._recovered_ev: Optional[Event] = None  # set while recovering
+
+        self.ss = (
+            ServerBackendClient(self.node, config)
+            if config.stale_backend == "server"
+            else None
+        )
+
+        self._register_handlers()
+        self.node.add_raw_tap(self._tap)
+        if config.proactive_enabled and config.async_updates:
+            sim.spawn(self._idle_push_sweeper(), name=f"sweeper-{addr}")
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _register_handlers(self) -> None:
+        n = self.node
+        n.register("create", self._handle_create)
+        n.register("delete", self._handle_delete)
+        n.register("mkdir", self._handle_mkdir)
+        n.register("rmdir", self._handle_rmdir)
+        n.register("stat", self._handle_stat)
+        n.register("open", self._handle_open)
+        n.register("close", self._handle_close)
+        n.register("statdir", self._handle_statdir)
+        n.register("readdir", self._handle_readdir)
+        n.register("lookup_dir", self._handle_lookup_dir)
+        n.register("agg_pull", self._handle_agg_pull)
+        n.register("agg_ack", self._handle_agg_ack)
+        n.register("changelog_push", self._handle_changelog_push)
+        n.register("invalidate_and_pull", self._handle_invalidate_and_pull)
+        n.register("uninvalidate", self._handle_uninvalidate)
+        n.register("unlock_fallback", self._handle_unlock_fallback)
+        n.register("apply_parent_update", self._handle_apply_parent_update)
+        n.register("aggregate_now", self._handle_aggregate_now)
+        n.register("rename", self._handle_rename)
+        n.register("read_inode", self._handle_read_inode)
+        n.register("read_inode_scan", self._handle_read_inode_scan)
+        n.register("rename_lock", self._handle_rename_lock)
+        n.register("mark_entry", self._handle_mark_entry)
+        n.register("rename_commit", self._handle_rename_commit)
+        n.register("rename_abort", self._handle_rename_abort)
+        n.register("clone_invalidation", self._handle_clone_invalidation)
+        n.register("flush_apply", self._handle_flush_apply)
+
+    def install_root(self) -> None:
+        """Install the root inode if this server owns it."""
+        root = root_inode()
+        if self.cmap.dir_owner_by_fp(root.fingerprint) == self.addr:
+            # WAL-logged so the root survives a crash + replay.
+            self.kv.put(dir_meta_key(root.pid, root.name), root)
+            self._dir_index[root.id] = dir_meta_key(root.pid, root.name)
+
+    # -- service-time accounting ------------------------------------------
+    def _cpu(self, us: float) -> Generator:
+        """Charge *us* microseconds of CPU on one of this server's cores."""
+        yield self.cores.acquire()
+        try:
+            yield self.sim.timeout(us * self.perf.stack_multiplier)
+        finally:
+            self.cores.release()
+
+    # -- locks ------------------------------------------------------------
+    def _inode_lock(self, key: Tuple) -> RWLock:
+        lock = self._inode_locks.get(key)
+        if lock is None:
+            lock = RWLock(self.sim)
+            self._inode_locks[key] = lock
+        return lock
+
+    def _changelog_lock(self, dir_id: int) -> RWLock:
+        lock = self._changelog_locks.get(dir_id)
+        if lock is None:
+            lock = RWLock(self.sim)
+            self._changelog_locks[dir_id] = lock
+        return lock
+
+    def _wait_group_unblocked(self, fp: int) -> Generator:
+        """Wait while an aggregation blocks reads on the fingerprint group."""
+        while fp in self._group_blocks:
+            yield self._group_blocks[fp]
+
+    def _wait_recovered(self) -> Generator:
+        if self._recovered_ev is not None:
+            yield self._recovered_ev
+
+    # ------------------------------------------------------------------
+    # double-inode operations: create / delete / mkdir / rmdir
+    # ------------------------------------------------------------------
+    def _handle_create(self, request: RpcRequest, packet: Packet) -> Generator:
+        return (yield from self._double_inode_file_op(request, is_create=True))
+
+    def _handle_delete(self, request: RpcRequest, packet: Packet) -> Generator:
+        return (yield from self._double_inode_file_op(request, is_create=False))
+
+    def _double_inode_file_op(self, request: RpcRequest, is_create: bool) -> Generator:
+        """Shared workflow of file ``create``/``delete`` (Figure 4, green)."""
+        args = request.args
+        pid, name = args["pid"], args["name"]
+        parent_fp = args["parent_fp"]
+        yield from self._wait_recovered()
+        yield from self._cpu(self.perf.path_check_us)
+        self._check_valid(args)
+
+        cl_lock = self._changelog_lock(pid)
+        key = file_meta_key(pid, name)
+        klock = self._inode_lock(key)
+        yield cl_lock.acquire_read()
+        yield klock.acquire_write()
+        deferred_unlock = False
+        try:
+            yield from self._cpu(self.perf.kv_get_us)
+            exists = key in self.kv
+            if is_create and exists:
+                raise FSError(EEXIST, f"{pid}/{name}")
+            if not is_create and not exists:
+                raise FSError(ENOENT, f"{pid}/{name}")
+
+            yield from self._cpu(self.perf.wal_append_us)
+            now = self.sim.now
+            if is_create:
+                inode = FileInode(
+                    pid=pid, name=name, perm=args.get("perm", 0o644), ctime=now, mtime=now
+                )
+                yield from self._cpu(self.perf.kv_put_us)
+                self.kv.put(key, inode)
+            else:
+                yield from self._cpu(self.perf.kv_put_us)
+                self.kv.delete(key)
+
+            entry = ChangeLogEntry(
+                timestamp=now,
+                op=ChangeOp.CREATE if is_create else ChangeOp.DELETE,
+                name=name,
+                is_dir=False,
+                perm=args.get("perm", 0o644),
+            )
+            if self.config.async_updates:
+                reply = yield from self._finish_async_update(
+                    request, parent_fp, pid, entry, [(klock, "w"), (cl_lock, "r")]
+                )
+                deferred_unlock = reply is not None and reply.header is not None
+                return reply
+            yield from self._apply_parent_sync(pid, parent_fp, entry)
+            return {"status": "ok"}
+        finally:
+            if not deferred_unlock:
+                klock.release_write()
+                cl_lock.release_read()
+
+    def _handle_mkdir(self, request: RpcRequest, packet: Packet) -> Generator:
+        """mkdir executes on the *new directory's* owner server."""
+        args = request.args
+        pid, name = args["pid"], args["name"]
+        parent_fp = args["parent_fp"]
+        yield from self._wait_recovered()
+        yield from self._cpu(self.perf.path_check_us)
+        self._check_valid(args)
+
+        cl_lock = self._changelog_lock(pid)
+        key = dir_meta_key(pid, name)
+        klock = self._inode_lock(key)
+        yield cl_lock.acquire_read()
+        yield klock.acquire_write()
+        deferred_unlock = False
+        try:
+            yield from self._cpu(self.perf.kv_get_us)
+            if key in self.kv:
+                raise FSError(EEXIST, f"{pid}/{name}")
+            yield from self._cpu(self.perf.wal_append_us)
+            now = self.sim.now
+            self._dir_nonce += 1
+            inode = DirInode(
+                id=new_dir_id(pid, name, self._dir_nonce),
+                pid=pid,
+                name=name,
+                fingerprint=fingerprint_of(pid, name),
+                perm=args.get("perm", 0o755),
+                ctime=now,
+                mtime=now,
+            )
+            yield from self._cpu(self.perf.kv_put_us)
+            self.kv.put(key, inode)
+            self._dir_index[inode.id] = key
+
+            entry = ChangeLogEntry(
+                timestamp=now, op=ChangeOp.MKDIR, name=name, is_dir=True,
+                perm=args.get("perm", 0o755),
+            )
+            if self.config.async_updates:
+                reply = yield from self._finish_async_update(
+                    request, parent_fp, pid, entry, [(klock, "w"), (cl_lock, "r")]
+                )
+                deferred_unlock = reply is not None and reply.header is not None
+                if isinstance(reply, Reply) and isinstance(reply.value, dict):
+                    reply.value["id"] = inode.id
+                    reply.value["fingerprint"] = inode.fingerprint
+                return reply
+            yield from self._apply_parent_sync(pid, parent_fp, entry)
+            return {"status": "ok", "id": inode.id, "fingerprint": inode.fingerprint}
+        finally:
+            if not deferred_unlock:
+                klock.release_write()
+                cl_lock.release_read()
+
+    def _handle_rmdir(self, request: RpcRequest, packet: Packet) -> Generator:
+        """rmdir: invalidate everywhere, gather scattered updates, check
+        emptiness, then proceed like create (Figure 5)."""
+        args = request.args
+        pid, name = args["pid"], args["name"]
+        dir_id, fp = args["dir_id"], args["fp"]
+        parent_fp = args["parent_fp"]
+        yield from self._wait_recovered()
+        yield from self._cpu(self.perf.path_check_us)
+        self._check_valid(args)
+
+        cl_lock = self._changelog_lock(pid)
+        key = dir_meta_key(pid, name)
+        klock = self._inode_lock(key)
+        yield cl_lock.acquire_read()
+        yield klock.acquire_write()
+        deferred_unlock = False
+        invalidated = False
+        try:
+            yield from self._cpu(self.perf.kv_get_us)
+            inode = self.kv.get_or_none(key)
+            if inode is None:
+                raise FSError(ENOENT, f"{pid}/{name}")
+
+            if self.config.async_updates:
+                # Invalidate the directory everywhere and pull its group's
+                # scattered updates (steps 4-6).
+                yield from self._wait_group_unblocked(fp)
+                block = self.sim.event()
+                self._group_blocks[fp] = block
+                try:
+                    others = self.cmap.others(self.addr)
+                    results = yield from self.node.multicast_call(
+                        others, "invalidate_and_pull", {"dir_id": dir_id, "fp": fp},
+                        timeout_us=self.perf.rpc_timeout_us,
+                        max_attempts=self.perf.rpc_max_attempts,
+                    )
+                    self.inval.insert(dir_id)
+                    invalidated = True
+                    local, local_locks = yield from self._drain_local_group(fp)
+                    try:
+                        pulled = self._merge_pulled(results, local)
+                        if pulled:
+                            yield from self._cpu(self.perf.wal_append_us)
+                            self.wal.append("agg", [(d, e) for d, e, _ in pulled])
+                            yield from self._apply_logs(
+                                pulled, already_locked=frozenset([key])
+                            )
+                        self._send_agg_ack(fp, others, results, local)
+                    finally:
+                        for lock in local_locks:
+                            lock.release_write()
+                finally:
+                    del self._group_blocks[fp]
+                    block.succeed()
+
+            inode = self.kv.get(key)  # refreshed by aggregation
+            yield from self._cpu(self.perf.kv_get_us)
+            if inode.entry_count > 0:
+                # Not empty: revert the invalidation so the directory stays
+                # usable, then fail.
+                if invalidated:
+                    self.inval._ids.discard(dir_id)
+                    for other in self.cmap.others(self.addr):
+                        self.node.notify(other, "uninvalidate", {"dir_id": dir_id})
+                raise FSError(ENOTEMPTY, f"{pid}/{name}")
+
+            yield from self._cpu(self.perf.wal_append_us)
+            now = self.sim.now
+            yield from self._cpu(self.perf.kv_put_us)
+            self.kv.delete(key)
+            self._dir_index.pop(dir_id, None)
+
+            entry = ChangeLogEntry(timestamp=now, op=ChangeOp.RMDIR, name=name, is_dir=True)
+            if self.config.async_updates:
+                reply = yield from self._finish_async_update(
+                    request, parent_fp, pid, entry, [(klock, "w"), (cl_lock, "r")]
+                )
+                deferred_unlock = reply is not None and reply.header is not None
+                return reply
+            yield from self._apply_parent_sync(pid, parent_fp, entry)
+            return {"status": "ok"}
+        finally:
+            if not deferred_unlock:
+                klock.release_write()
+                cl_lock.release_read()
+
+    def _finish_async_update(
+        self,
+        request: RpcRequest,
+        parent_fp: int,
+        parent_id: int,
+        entry: ChangeLogEntry,
+        locks: List[Tuple[RWLock, str]],
+    ) -> Generator:
+        """Log the delayed parent update and emit the INSERT response.
+
+        With the switch backend, the locks stay held until the switch's
+        multicast copy of the response returns (the unlock notification),
+        or until the fallback path reports back.  With the server backend
+        the stale-set RPC completes inline and locks release here.
+        """
+        lsn = self.wal.append("changelog", (parent_id, parent_fp, entry))
+        yield from self._cpu(self.perf.changelog_append_us)
+        log = self.changelogs.append(parent_id, parent_fp, entry, lsn, self.sim.now)
+        self.counters.inc("changelog_appends")
+
+        if self.ss is not None:  # stale-set-on-a-server mode (§6.5.2)
+            # The extra RTT to the stale-set server sits on the critical
+            # path here (Figure 16a).  Locks are released by the caller's
+            # finally-block right after we return.
+            ok = yield from self.ss.insert(parent_fp)
+            if not ok:
+                # Fallback: apply the parent update synchronously.
+                self._detach_entry(log, entry, lsn)
+                yield from self._apply_parent_sync(parent_id, parent_fp, entry)
+                self.counters.inc("sync_fallbacks")
+            else:
+                self._maybe_push(log)
+            return Reply(value={"status": "ok"})
+
+        token = next(_unlock_tokens)
+        self._pending_unlocks[token] = {
+            "locks": locks,
+            "log": log,
+            "entry": entry,
+            "lsn": lsn,
+        }
+        if self.config.unlock_watchdog_us:
+            self.sim.spawn(self._unlock_watchdog(token), name="unlock-watchdog")
+        return Reply(
+            value={
+                "status": "ok",
+                "unlock_token": token,
+                "origin": self.addr,
+                "client": request.src,
+                "parent_id": parent_id,
+                "parent_fp": parent_fp,
+                "entry": entry,
+            },
+            header=StaleSetHeader(op=StaleSetOp.INSERT, fingerprint=parent_fp),
+        )
+
+    def _release_locks(self, locks: List[Tuple[RWLock, str]]) -> None:
+        for lock, mode in locks:
+            if mode == "w":
+                lock.release_write()
+            else:
+                lock.release_read()
+
+    def _detach_entry(self, log: ChangeLog, entry: ChangeLogEntry, lsn: int) -> None:
+        """Remove a change-log entry that was applied synchronously."""
+        try:
+            idx = log.entries.index(entry)
+        except ValueError:
+            return  # already drained by a racing aggregation: harmless
+        log.entries.pop(idx)
+        log.wal_lsns.remove(lsn)
+        self.wal.mark_applied_if_present(lsn)
+
+    def _unlock_watchdog(self, token: int) -> Generator:
+        """Release a deferred unlock whose switch notification was lost.
+
+        The insert either succeeded (entry stays in the change-log, to be
+        aggregated normally) or was redirected to the fallback path whose
+        own notification releases the token first — either way holding the
+        locks forever would wedge the directory, so time out and release.
+        """
+        yield self.sim.timeout(self.config.unlock_watchdog_us)
+        if token in self._pending_unlocks:
+            self.counters.inc("unlock_watchdog_fires")
+            self.release_unlock_token(token, applied_sync=False)
+
+    def release_unlock_token(self, token: int, applied_sync: bool) -> bool:
+        """Complete a deferred unlock (switch confirmed insert or fallback).
+
+        Returns False for a duplicate/stale token — the caller's tap then
+        lets the packet through (a self-addressed RPC's response and its
+        unlock copy are byte-identical, and exactly one must reach the
+        dispatcher)."""
+        info = self._pending_unlocks.pop(token, None)
+        if info is None:
+            return False  # duplicate notification
+        self._release_locks(info["locks"])
+        if applied_sync:
+            self._detach_entry(info["log"], info["entry"], info["lsn"])
+            self.counters.inc("sync_fallbacks")
+        else:
+            self._maybe_push(info["log"])
+        return True
+
+    # -- synchronous parent update (baseline / fallback) --------------------
+    def _apply_parent_sync(self, parent_id: int, parent_fp: int, entry: ChangeLogEntry) -> Generator:
+        """Apply a parent-directory update synchronously (cross-server when
+        the parent lives elsewhere)."""
+        owner = self.cmap.dir_owner_by_fp(parent_fp)
+        if owner == self.addr:
+            yield from self._apply_entry_with_inode_txn(parent_id, entry)
+            return
+        self.counters.inc("cross_server_updates")
+        yield from self.node.call(
+            owner,
+            "apply_parent_update",
+            {"parent_id": parent_id, "entry": entry},
+            timeout_us=self.perf.rpc_timeout_us,
+            max_attempts=self.perf.rpc_max_attempts,
+        )
+
+    def _handle_apply_parent_update(self, request: RpcRequest, packet: Packet) -> Generator:
+        args = request.args
+        yield from self._cpu(self.perf.txn_phase_us)
+        yield from self._apply_entry_with_inode_txn(args["parent_id"], args["entry"])
+        return {"status": "ok"}
+
+    def _apply_entry_with_inode_txn(
+        self, dir_id: int, entry: ChangeLogEntry, already_locked: frozenset = frozenset()
+    ) -> Generator:
+        """One entry applied under the directory-inode write lock.
+
+        This is the contended segment: the lock-hold window is what
+        serialises concurrent updates of one directory in synchronous
+        systems (Challenge 2).  *already_locked* names inode keys the
+        caller holds write locks on (rmdir holds its own target's lock
+        while aggregating, so re-acquiring would self-deadlock).
+        """
+        key = self._dir_index.get(dir_id)
+        if key is None:
+            return  # directory removed concurrently; update is moot
+        take_lock = key not in already_locked
+        lock = self._inode_lock(key)
+        if take_lock:
+            yield lock.acquire_write()
+        try:
+            yield from self._cpu(self.perf.dir_inode_update_us + self.perf.dir_entry_put_us)
+            delta = self._apply_entry_to_list(dir_id, entry)
+            inode = self.kv.get_or_none(key)
+            if inode is not None:
+                self.kv.put(key, inode.touched(entry.timestamp, delta))
+        finally:
+            if take_lock:
+                lock.release_write()
+
+    def _apply_entry_to_list(self, dir_id: int, entry: ChangeLogEntry) -> int:
+        """Apply one op to the entry list; returns the entry-count delta.
+
+        Presence-aware so that re-application (recovery, duplicated
+        flushes) never corrupts the count.
+        """
+        ekey = dir_entry_key(dir_id, entry.name)
+        present = ekey in self.kv
+        if entry.op.adds_entry:
+            self.kv.put(ekey, DirEntry(is_dir=entry.is_dir, perm=entry.perm))
+            return 0 if present else 1
+        if present:
+            self.kv.delete(ekey)
+            return -1
+        return 0
+
+    # ------------------------------------------------------------------
+    # directory reads: statdir / readdir (Figure 4, orange)
+    # ------------------------------------------------------------------
+    def _handle_statdir(self, request: RpcRequest, packet: Packet) -> Generator:
+        inode = yield from self._read_dir_inode(request, packet)
+        return {
+            "id": inode.id,
+            "mtime": inode.mtime,
+            "entry_count": inode.entry_count,
+            "perm": inode.perm,
+        }
+
+    def _handle_readdir(self, request: RpcRequest, packet: Packet) -> Generator:
+        inode = yield from self._read_dir_inode(request, packet)
+        names = [key[2] for key, _ in self.kv.scan_prefix(("E", inode.id))]
+        yield from self._cpu(self.perf.readdir_per_entry_us * max(1, len(names)))
+        return {"id": inode.id, "entries": names, "entry_count": inode.entry_count}
+
+    def _read_dir_inode(self, request: RpcRequest, packet: Packet) -> Generator:
+        args = request.args
+        pid, name, fp = args["pid"], args["name"], args["fp"]
+        yield from self._wait_recovered()
+        yield from self._cpu(self.perf.path_check_us)
+        self._check_valid(args)
+
+        # Directory state comes from the switch (RET bit on the request) or
+        # from an explicit stale-set-server query.
+        if self.ss is not None:
+            scattered = yield from self.ss.query(fp)
+        else:
+            scattered = bool(packet.header is not None and packet.header.ret)
+
+        # Checking for in-flight aggregations on the group costs a little
+        # even in the common (normal-state) case — the statdir premium the
+        # paper reports in §6.2.2.
+        yield from self._cpu(self.perf.agg_check_us)
+        yield from self._wait_group_unblocked(fp)
+        if scattered:
+            self.counters.inc("read_triggered_aggregations")
+            yield from self._aggregate_group(fp)
+
+        key = dir_meta_key(pid, name)
+        lock = self._inode_lock(key)
+        yield lock.acquire_read()
+        try:
+            yield from self._cpu(self.perf.kv_get_us)
+            inode = self.kv.get_or_none(key)
+            if inode is None:
+                raise FSError(ENOENT, f"{pid}/{name}")
+            return inode
+        finally:
+            lock.release_read()
+
+    # ------------------------------------------------------------------
+    # aggregation (§4.2.2, §4.3)
+    # ------------------------------------------------------------------
+    def _aggregate_group(self, fp: int) -> Generator:
+        """Aggregate every change-log in the fingerprint group onto the
+        directories this server owns."""
+        if fp in self._group_blocks:
+            # Someone else is already aggregating: piggyback on them.
+            yield from self._wait_group_unblocked(fp)
+            return
+        block = self.sim.event()
+        self._group_blocks[fp] = block
+        try:
+            others = self.cmap.others(self.addr)
+            results = []
+            if others:
+                results = yield from self.node.multicast_call(
+                    others, "agg_pull", {"fp": fp},
+                    timeout_us=self.perf.rpc_timeout_us,
+                    max_attempts=self.perf.rpc_max_attempts,
+                )
+            local, local_locks = yield from self._drain_local_group(fp)
+            try:
+                pulled = self._merge_pulled(results, local)
+                if pulled:
+                    yield from self._cpu(self.perf.wal_append_us)
+                    self.wal.append("agg", [(d, e) for d, e, _ in pulled])
+                    yield from self._apply_logs(pulled)
+                self._send_agg_ack(fp, others, results, local)
+            finally:
+                for lock in local_locks:
+                    lock.release_write()
+            self.counters.inc("aggregations")
+        finally:
+            del self._group_blocks[fp]
+            block.succeed()
+
+    def _drain_local_group(self, fp: int) -> Generator:
+        """Drain this server's own change-logs for a group.
+
+        The write locks are returned to the caller and must be released
+        after application (matching the remote pull-until-ack discipline).
+        Returns ``(drained, locks)``.
+        """
+        logs = self.changelogs.logs_in_group(fp)
+        locks = [self._changelog_lock(log.dir_id) for log in logs]
+        for lock in locks:
+            yield lock.acquire_write()
+        return self.changelogs.drain_group(fp), locks
+
+    def _merge_pulled(
+        self,
+        remote_results: List[Dict[str, Any]],
+        local: List[Tuple[int, List[ChangeLogEntry], List[int]]],
+    ) -> List[Tuple[int, List[ChangeLogEntry], Optional[List[int]]]]:
+        """Combine remote pull results and locally drained logs per directory."""
+        merged: Dict[int, List[ChangeLogEntry]] = {}
+        for result in remote_results:
+            for dir_id, entries in result["logs"]:
+                merged.setdefault(dir_id, []).extend(entries)
+        local_lsns: Dict[int, List[int]] = {}
+        for dir_id, entries, lsns in local:
+            merged.setdefault(dir_id, []).extend(entries)
+            local_lsns[dir_id] = lsns
+        return [
+            (dir_id, entries, local_lsns.get(dir_id)) for dir_id, entries in merged.items()
+        ]
+
+    def _apply_logs(
+        self,
+        pulled: List[Tuple[int, List[ChangeLogEntry], Optional[List[int]]]],
+        already_locked: frozenset = frozenset(),
+    ) -> Generator:
+        """Apply aggregated change-logs to the owned directory inodes.
+
+        With **recast** (§4.3): entries' timestamps were consolidated, so
+        each directory needs one inode transaction; the entry-list ops are
+        independent and run in parallel across this server's cores.
+
+        Without recast (+Async ablation): each entry replays as its own
+        inode transaction, serialising on the directory inode.
+        """
+        for dir_id, entries, _lsns in pulled:
+            if not entries:
+                continue
+            if self.config.recast:
+                yield from self._apply_recast(dir_id, entries, already_locked)
+            else:
+                for entry in sorted(entries, key=lambda e: e.timestamp):
+                    yield from self._cpu(self.perf.txn_phase_us)
+                    yield from self._apply_entry_with_inode_txn(dir_id, entry, already_locked)
+
+    def _apply_recast(
+        self,
+        dir_id: int,
+        entries: List[ChangeLogEntry],
+        already_locked: frozenset = frozenset(),
+    ) -> Generator:
+        key = self._dir_index.get(dir_id)
+        if key is None:
+            return  # directory no longer exists here
+        max_ts = max(e.timestamp for e in entries)
+        deltas: List[int] = []
+
+        def entry_worker(entry: ChangeLogEntry) -> Generator:
+            yield from self._cpu(self.perf.dir_entry_put_us)
+            deltas.append(self._apply_entry_to_list(dir_id, entry))
+
+        workers = [
+            self.sim.spawn(entry_worker(e), name="recast-entry") for e in entries
+        ]
+        yield AllOf(self.sim, workers)
+
+        take_lock = key not in already_locked
+        lock = self._inode_lock(key)
+        if take_lock:
+            yield lock.acquire_write()
+        try:
+            yield from self._cpu(self.perf.dir_inode_update_us)
+            inode = self.kv.get_or_none(key)
+            if inode is not None:
+                self.kv.put(key, inode.touched(max_ts, sum(deltas)))
+        finally:
+            if take_lock:
+                lock.release_write()
+
+    def _send_agg_ack(
+        self,
+        fp: int,
+        others: List[str],
+        remote_results: List[Dict[str, Any]],
+        local: List[Tuple[int, List[ChangeLogEntry], List[int]]],
+    ) -> None:
+        """Multicast the aggregation acknowledgment.
+
+        Each copy carries a REMOVE stale-set header (same SEQ): the switch
+        executes the first and filters the duplicates (§4.4.1).  Receivers
+        mark their shipped WAL records as applied.  Local records are
+        marked directly.
+        """
+        self._remove_seq += 1
+        seq = self._remove_seq
+        lsns_by_server: Dict[str, List[int]] = {}
+        for other, result in zip(others, remote_results):
+            lsns_by_server[other] = result.get("lsns", [])
+        if self.ss is not None:
+            # Server backend: one explicit remove RPC, plain acks.
+            self.sim.spawn(self._ss_remove(fp, seq), name="ss-remove")
+            for other in others:
+                self.node.notify(
+                    other, "agg_ack",
+                    {"fp": fp, "lsns": lsns_by_server.get(other, [])},
+                )
+        else:
+            header = StaleSetHeader(op=StaleSetOp.REMOVE, fingerprint=fp, seq=seq)
+            if others:
+                for other in others:
+                    self.node.notify(
+                        other, "agg_ack",
+                        {"fp": fp, "lsns": lsns_by_server.get(other, [])},
+                        header=header,
+                    )
+            else:
+                # Single-server cluster: still clear the switch state.
+                self.node.notify(self.addr, "agg_ack", {"fp": fp, "lsns": []}, header=header)
+        for _dir_id, _entries, lsns in local:
+            for lsn in lsns:
+                self.wal.mark_applied_if_present(lsn)
+
+    def _ss_remove(self, fp: int, seq: int) -> Generator:
+        yield from self.ss.remove(fp, self.addr, seq)
+
+    def _handle_agg_pull(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Another server aggregates a group: hand over our change-logs.
+
+        The write locks taken here are **held until the aggregation
+        acknowledgment** (§4.2.2 step 9a), not released at reply time:
+        while the aggregator applies the group's updates, no new entries
+        may be appended for it anywhere.  This back-pressure is what bounds
+        sustained update throughput by the application rate — the effect
+        the +Async/+Recast ablation of §6.5.1 measures.
+        """
+        fp = request.args["fp"]
+        # If a previous aggregation's ack is still in flight, wait for it —
+        # answering early with empty logs would hide entries appended since
+        # that aggregation's drain (a visibility violation).
+        while fp in self._pull_locks:
+            yield self._pull_waiter(fp)
+        logs = self.changelogs.logs_in_group(fp)
+        locks = [self._changelog_lock(log.dir_id) for log in logs]
+        for lock in locks:
+            yield lock.acquire_write()
+        self._pull_locks[fp] = locks
+        if self.config.unlock_watchdog_us:
+            self.sim.spawn(self._pull_lock_watchdog(fp, locks), name="pull-watchdog")
+        yield from self._cpu(self.perf.kv_get_us)
+        drained = self.changelogs.drain_group(fp)
+        lsns = [lsn for _d, _e, lsn_list in drained for lsn in lsn_list]
+        return {
+            "logs": [(dir_id, entries) for dir_id, entries, _ in drained],
+            "lsns": lsns,
+        }
+
+    def _pull_waiter(self, fp: int) -> Event:
+        ev = self._pull_waiters.get(fp)
+        if ev is None:
+            ev = self.sim.event()
+            self._pull_waiters[fp] = ev
+        return ev
+
+    def _release_pull_locks(self, fp: int) -> None:
+        for lock in self._pull_locks.pop(fp, []):
+            lock.release_write()
+        waiter = self._pull_waiters.pop(fp, None)
+        if waiter is not None:
+            waiter.succeed()
+
+    def _pull_lock_watchdog(self, fp: int, locks) -> Generator:
+        """Release pull locks if the aggregation ack is lost (UDP)."""
+        yield self.sim.timeout(self.config.unlock_watchdog_us)
+        if self._pull_locks.get(fp) is locks:
+            self.counters.inc("pull_watchdog_fires")
+            self._release_pull_locks(fp)
+
+    def _handle_agg_ack(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Aggregation done: unlock change-logs, mark shipped WAL records."""
+        yield from self._cpu(self.perf.changelog_append_us)
+        fp = request.args.get("fp")
+        if fp is not None:
+            self._release_pull_locks(fp)
+        for lsn in request.args.get("lsns", []):
+            try:
+                self.wal.mark_applied(lsn)
+            except KeyError:
+                pass  # checkpointed already
+
+    # ------------------------------------------------------------------
+    # proactive aggregation (§4.3)
+    # ------------------------------------------------------------------
+    def _maybe_push(self, log: ChangeLog) -> None:
+        if not self.config.proactive_enabled:
+            return
+        if len(log) >= self.config.proactive_push_entries:
+            self.sim.spawn(self._push_log(log), name=f"push-{self.addr}")
+
+    def _push_log(self, log: ChangeLog) -> Generator:
+        """Ship one change-log to the directory's owner (MTU-full or idle)."""
+        owner = self.cmap.dir_owner_by_fp(log.fingerprint)
+        lock = self._changelog_lock(log.dir_id)
+        yield lock.acquire_write()
+        entries, lsns = log.drain()
+        lock.release_write()
+        if not entries:
+            return
+        if owner == self.addr:
+            # Our own directory: re-append locally and trigger aggregation.
+            for entry, lsn in zip(entries, lsns):
+                self.changelogs.append(log.dir_id, log.fingerprint, entry, lsn, self.sim.now)
+            self._note_push(log.fingerprint)
+            return
+        try:
+            yield from self.node.call(
+                owner,
+                "changelog_push",
+                {
+                    "dir_id": log.dir_id,
+                    "fp": log.fingerprint,
+                    "entries": entries,
+                    "from": self.addr,
+                },
+                timeout_us=self.perf.rpc_timeout_us,
+                max_attempts=self.perf.rpc_max_attempts,
+            )
+        except RpcError:
+            # Push failed (owner slow/dead): restore entries for a later push
+            # or pull; order within one log does not matter (commutative).
+            restored = self.changelogs.log_for(log.dir_id, log.fingerprint)
+            for entry, lsn in zip(entries, lsns):
+                restored.append(entry, lsn, self.sim.now)
+            return
+        self.counters.inc("proactive_pushes")
+        for lsn in lsns:
+            self.wal.mark_applied_if_present(lsn)
+
+    def _handle_changelog_push(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Receive a pushed change-log; stage it locally and schedule a
+        grace-period aggregation."""
+        args = request.args
+        dir_id, fp = args["dir_id"], args["fp"]
+        yield from self._cpu(self.perf.wal_append_us)
+        for entry in args["entries"]:
+            lsn = self.wal.append("changelog", (dir_id, fp, entry))
+            self.changelogs.append(dir_id, fp, entry, lsn, self.sim.now)
+        self._note_push(fp)
+        return {"status": "ok"}
+
+    def _note_push(self, fp: int) -> None:
+        self._last_push_at[fp] = self.sim.now
+        if not self._grace_pending.get(fp):
+            self._grace_pending[fp] = True
+            self.sim.spawn(self._grace_aggregate(fp), name=f"grace-{self.addr}")
+
+    def _grace_aggregate(self, fp: int) -> Generator:
+        """Aggregate once pushes quiesce for a grace period (§4.3).
+
+        Under a continuous update stream the quiet window would never
+        arrive, so ``grace_cap_us`` bounds the total deferral: at latest
+        that long after the first pending push, aggregation proceeds —
+        this keeps change-logs bounded and is what throttles sustained
+        update throughput to the application rate.
+        """
+        grace = self.config.grace_period_us
+        deadline = self.sim.now + self.config.grace_cap_us
+        while True:
+            since = self.sim.now - self._last_push_at.get(fp, 0.0)
+            wait = min(grace - since, deadline - self.sim.now)
+            # The epsilon guard prevents a float-precision spin: at large
+            # virtual times a sub-resolution timeout fires without
+            # advancing the clock.
+            if wait <= 1e-6:
+                break
+            yield self.sim.timeout(wait)
+        self._grace_pending[fp] = False
+        yield from self._wait_group_unblocked(fp)
+        yield from self._aggregate_group(fp)
+        self.counters.inc("proactive_aggregations")
+
+    def _idle_push_sweeper(self) -> Generator:
+        """Periodically push change-logs that have gone idle (§4.3 cond. 2)."""
+        interval = self.config.proactive_idle_push_us
+        while True:
+            yield self.sim.timeout(interval / 2)
+            now = self.sim.now
+            for fp in self.changelogs.non_empty_groups():
+                for log in self.changelogs.logs_in_group(fp):
+                    if now - log.last_append_at >= interval and len(log):
+                        self.sim.spawn(self._push_log(log), name="idle-push")
+
+    # ------------------------------------------------------------------
+    # rmdir support: invalidation
+    # ------------------------------------------------------------------
+    def _handle_invalidate_and_pull(self, request: RpcRequest, packet: Packet) -> Generator:
+        """rmdir at another server: invalidate locally, ship the group's logs."""
+        args = request.args
+        dir_id, fp = args["dir_id"], args["fp"]
+        while fp in self._pull_locks:
+            yield self._pull_waiter(fp)
+        logs = self.changelogs.logs_in_group(fp)
+        locks = [self._changelog_lock(log.dir_id) for log in logs]
+        for lock in locks:
+            yield lock.acquire_write()
+        self._pull_locks[fp] = locks
+        if self.config.unlock_watchdog_us:
+            self.sim.spawn(self._pull_lock_watchdog(fp, locks), name="pull-watchdog")
+        yield from self._cpu(self.perf.kv_get_us)
+        self.inval.insert(dir_id)
+        drained = self.changelogs.drain_group(fp)
+        lsns = [lsn for _d, _e, lsn_list in drained for lsn in lsn_list]
+        return {
+            "logs": [(d, entries) for d, entries, _ in drained],
+            "lsns": lsns,
+        }
+
+    def _handle_uninvalidate(self, request: RpcRequest, packet: Packet) -> Generator:
+        yield from self._cpu(self.perf.changelog_append_us)
+        self.inval._ids.discard(request.args["dir_id"])
+
+    # ------------------------------------------------------------------
+    # single-inode operations
+    # ------------------------------------------------------------------
+    def _handle_stat(self, request: RpcRequest, packet: Packet) -> Generator:
+        return (yield from self._read_file_inode(request))
+
+    def _handle_open(self, request: RpcRequest, packet: Packet) -> Generator:
+        return (yield from self._read_file_inode(request))
+
+    def _handle_close(self, request: RpcRequest, packet: Packet) -> Generator:
+        yield from self._wait_recovered()
+        yield from self._cpu(self.perf.path_check_us)
+        return {"status": "ok"}
+
+    def _read_file_inode(self, request: RpcRequest) -> Generator:
+        args = request.args
+        pid, name = args["pid"], args["name"]
+        yield from self._wait_recovered()
+        yield from self._cpu(self.perf.path_check_us)
+        self._check_valid(args)
+        key = file_meta_key(pid, name)
+        lock = self._inode_lock(key)
+        yield lock.acquire_read()
+        try:
+            yield from self._cpu(self.perf.kv_get_us)
+            inode = self.kv.get_or_none(key)
+            if inode is None:
+                raise FSError(ENOENT, f"{pid}/{name}")
+            return {
+                "pid": inode.pid,
+                "name": inode.name,
+                "perm": inode.perm,
+                "size": inode.size,
+                "mtime": inode.mtime,
+            }
+        finally:
+            lock.release_read()
+
+    def _handle_lookup_dir(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Path-resolution lookup: directory id + permissions by (pid, name)."""
+        args = request.args
+        pid, name = args["pid"], args["name"]
+        yield from self._wait_recovered()
+        yield from self._cpu(self.perf.kv_get_us)
+        inode = self.kv.get_or_none(dir_meta_key(pid, name))
+        if inode is None:
+            raise FSError(ENOENT, f"{pid}/{name}")
+        return {"id": inode.id, "fingerprint": inode.fingerprint, "perm": inode.perm}
+
+    def _handle_read_inode(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Raw inode read used by the rename coordinator."""
+        args = request.args
+        yield from self._cpu(self.perf.kv_get_us)
+        inode = self.kv.get_or_none(tuple(args["key"]))
+        if inode is None:
+            raise FSError(ENOENT, str(args["key"]))
+        return {"inode": inode}
+
+    def _handle_read_inode_scan(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Prefix scan used by the rename coordinator to migrate entry lists."""
+        prefix = tuple(request.args["prefix"])
+        items = list(self.kv.scan_prefix(prefix))
+        yield from self._cpu(self.perf.readdir_per_entry_us * max(1, len(items)))
+        return {"items": [(list(k), v) for k, v in items]}
+
+    def _handle_aggregate_now(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Force-aggregate a fingerprint group (rename preparation)."""
+        fp = request.args["fp"]
+        yield from self._wait_group_unblocked(fp)
+        yield from self._aggregate_group(fp)
+        return {"status": "ok"}
+
+    # ------------------------------------------------------------------
+    # rename (§4.2): centralised coordinator + distributed transaction
+    # ------------------------------------------------------------------
+    def _handle_rename(self, request: RpcRequest, packet: Packet) -> Generator:
+        from .rename import run_rename  # local import: avoids module cycle
+
+        return (yield from run_rename(self, request.args))
+
+    def _handle_rename_lock(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Rename round 1: write-lock one key (+ optional check and read).
+
+        The coordinator issues these in a single global key order across
+        all participants, so concurrent renames can never deadlock on
+        each other.  Folding the existence check (``expect``) and the
+        inode read (``want_inode``) into the lock acquisition saves the
+        extra round trips a separate prepare/check phase would cost.
+        """
+        args = request.args
+        yield from self._cpu(self.perf.txn_phase_us)
+        key = tuple(args["key"])
+        lock = self._inode_lock(key)
+        yield lock.acquire_write()
+        txn_id = args["txn_id"]
+        self._rename_locks = getattr(self, "_rename_locks", {})
+        self._rename_locks.setdefault(txn_id, []).append(lock)
+        result: Dict[str, Any] = {"vote": True}
+        if "expect" in args:
+            exists = key in self.kv
+            if exists != args["expect"]:
+                result = {"vote": False, "key": list(key), "exists": exists}
+        if result["vote"] and args.get("want_inode"):
+            result["inode"] = self.kv.get_or_none(key)
+        return result
+
+    def _handle_mark_entry(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Append a deferred parent-directory update on behalf of a rename.
+
+        A file rename's parent fix-ups take the same asynchronous path as
+        create/delete: the committing server appends the entry to its
+        local change-log and the response's INSERT header marks the
+        parent scattered (with the usual overflow fallback).  Appending on
+        the *same server* that holds any pending entry for the same name
+        preserves per-name application order.
+        """
+        args = request.args
+        return (
+            yield from self._finish_async_update(
+                request, args["parent_fp"], args["parent_id"], args["entry"], locks=[]
+            )
+        )
+
+    def _handle_rename_commit(self, request: RpcRequest, packet: Packet) -> Generator:
+        args = request.args
+        yield from self._cpu(self.perf.txn_phase_us + self.perf.wal_append_us)
+        txn = self.kv.transaction()
+        for op in args["ops"]:
+            kind, key, value = op
+            if kind == "put":
+                txn.put(tuple(key), value)
+            elif kind == "delete":
+                txn.delete(tuple(key))
+        txn.commit()
+        # Deferred parent updates (file renames, async mode): appended via
+        # a self-RPC whose response performs the stale-set INSERT.  The
+        # commit completes only once the parents are marked scattered, so
+        # the rename's effects are visible to any later directory read.
+        async_entries = args.get("async_entries", [])
+        if async_entries:
+            marks = [
+                self.sim.spawn(
+                    self.node.call(
+                        self.addr, "mark_entry",
+                        {"parent_id": pid, "parent_fp": fp, "entry": entry},
+                        timeout_us=self.perf.rpc_timeout_us,
+                        max_attempts=self.perf.rpc_max_attempts,
+                    ),
+                    name="mark-entry",
+                )
+                for pid, fp, entry in async_entries
+            ]
+            yield AllOf(self.sim, marks)
+        # Presence-aware parent fix-ups: entry list + inode touch.
+        for parent_key, parent_id, name, add, is_dir, ts in args.get("entry_ops", []):
+            yield from self._cpu(self.perf.dir_inode_update_us + self.perf.dir_entry_put_us)
+            entry = ChangeLogEntry(
+                timestamp=ts,
+                op=ChangeOp.CREATE if add else ChangeOp.DELETE,
+                name=name,
+                is_dir=is_dir,
+            )
+            delta = self._apply_entry_to_list(parent_id, entry)
+            key = tuple(parent_key)
+            inode = self.kv.get_or_none(key)
+            if inode is not None:
+                self.kv.put(key, inode.touched(ts, delta))
+        for dir_id, key in args.get("dir_index", []):
+            self._dir_index[dir_id] = tuple(key)
+        for dir_id in args.get("dir_index_drop", []):
+            self._dir_index.pop(dir_id, None)
+        self._release_rename_locks(args["txn_id"])
+        return {"status": "ok"}
+
+    def _handle_rename_abort(self, request: RpcRequest, packet: Packet) -> Generator:
+        yield from self._cpu(self.perf.txn_phase_us)
+        self._release_rename_locks(request.args["txn_id"])
+        return {"status": "ok"}
+
+    def _release_rename_locks(self, txn_id: int) -> None:
+        locks = getattr(self, "_rename_locks", {}).pop(txn_id, [])
+        for lock in locks:
+            lock.release_write()
+
+    # ------------------------------------------------------------------
+    # fault tolerance (§4.4)
+    # ------------------------------------------------------------------
+    def _handle_clone_invalidation(self, request: RpcRequest, packet: Packet) -> Generator:
+        yield from self._cpu(self.perf.kv_get_us)
+        return {"ids": self.inval.snapshot()}
+
+    def _handle_flush_apply(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Switch-failure recovery: another server flushes its change-logs
+        for directories we own; apply them immediately."""
+        args = request.args
+        yield from self._cpu(self.perf.wal_append_us)
+        pulled = [(dir_id, entries, None) for dir_id, entries in args["logs"]]
+        self.wal.append("agg", [(d, e) for d, e, _ in pulled])
+        yield from self._apply_logs(pulled)
+        return {"status": "ok"}
+
+    def flush_all_changelogs(self) -> Generator:
+        """Send every pending change-log to its directory's owner (switch
+        failure recovery, §4.4.2).  Returns when all are applied."""
+        drained = self.changelogs.drain_all()
+        by_owner: Dict[str, List[Tuple[int, List[ChangeLogEntry]]]] = {}
+        lsns_all: List[int] = []
+        local: List[Tuple[int, List[ChangeLogEntry], Optional[List[int]]]] = []
+        for dir_id, fp, entries, lsns in drained:
+            owner = self.cmap.dir_owner_by_fp(fp)
+            if owner == self.addr:
+                local.append((dir_id, entries, lsns))
+            else:
+                by_owner.setdefault(owner, []).append((dir_id, entries))
+                lsns_all.extend(lsns)
+        if local:
+            yield from self._apply_logs(local)
+            for _d, _e, lsns in local:
+                for lsn in lsns or []:
+                    self.wal.mark_applied_if_present(lsn)
+        for owner, logs in by_owner.items():
+            yield from self.node.call(
+                owner, "flush_apply", {"logs": logs},
+                timeout_us=self.perf.rpc_timeout_us,
+                max_attempts=self.perf.rpc_max_attempts,
+            )
+        for lsn in lsns_all:
+            self.wal.mark_applied_if_present(lsn)
+        return len(drained)
+
+    def checkpoint(self) -> Generator:
+        """Persist a checkpoint and truncate the WAL (§6.7's optimisation).
+
+        Captures a point-in-time image of the DRAM state (KV space,
+        change-logs, invalidation list, directory index) atomically in
+        virtual time, marks every captured WAL record applied, and drops
+        the applied prefix.  Recovery then restores the image and replays
+        only the WAL tail, making recovery time proportional to the work
+        since the last checkpoint instead of since boot.
+        """
+        # State capture is synchronous (no yields), hence atomic w.r.t.
+        # concurrently running workflows.
+        image = {
+            "kv": self.kv.snapshot(),
+            "changelogs": [
+                (dir_id, fp, list(entries), list(lsns))
+                for dir_id, fp, entries, lsns in self._changelog_state()
+            ],
+            "inval": self.inval.snapshot(),
+            "dir_index": dict(self._dir_index),
+        }
+        covered = [r.lsn for r in self.wal.replay()]
+        self._checkpoint_image = image
+        for lsn in covered:
+            self.wal.mark_applied(lsn)
+        self.wal.checkpoint()
+        self.counters.inc("checkpoints")
+        # Charge background CPU proportional to the image size.
+        yield from self._cpu(self.perf.kv_put_us * max(1, len(image["kv"])) * 0.002)
+        return len(image["kv"])
+
+    def _changelog_state(self):
+        for fp in self.changelogs.non_empty_groups():
+            for log in self.changelogs.logs_in_group(fp):
+                yield log.dir_id, log.fingerprint, log.entries, log.wal_lsns
+
+    def begin_recovery(self) -> None:
+        """Block new operations until :meth:`end_recovery`."""
+        if self._recovered_ev is None:
+            self._recovered_ev = self.sim.event()
+
+    def end_recovery(self) -> None:
+        if self._recovered_ev is not None:
+            self._recovered_ev.succeed()
+            self._recovered_ev = None
+
+    def crash(self) -> None:
+        """Lose all DRAM state; the WAL survives (§4.4.2)."""
+        self.node.kill()
+        self.kv.crash()
+        self.changelogs.clear()
+        self.inval.clear()
+        self._dir_index.clear()
+        self._inode_locks.clear()
+        self._changelog_locks.clear()
+        self._group_blocks.clear()
+        self._pending_unlocks.clear()
+        self._pull_locks.clear()
+        self.node.clear_reply_cache()
+
+    def recover(self, peer: Optional[str] = None) -> Generator:
+        """Rebuild DRAM state from the WAL; clone the invalidation list.
+
+        Returns the number of WAL records replayed.  Recovery time is the
+        simulated duration of this process (one CPU charge per record,
+        §6.7).
+        """
+        self.begin_recovery()
+        self.node.revive()
+        # Restore the latest checkpoint image first (if any); the WAL then
+        # only holds the tail written since that checkpoint.
+        image = getattr(self, "_checkpoint_image", None)
+        if image is not None:
+            self.kv.restore(image["kv"])
+            for dir_id, fp, entries, lsns in image["changelogs"]:
+                log = self.changelogs.log_for(dir_id, fp)
+                log.entries = list(entries)
+                log.wal_lsns = list(lsns)
+            self.inval.restore(image["inval"])
+            self._dir_index.update(image["dir_index"])
+            self.counters.inc("recovered_from_checkpoint")
+        replayed = self.kv.recover()
+        # Rebuild change-logs from unapplied change-log records.
+        changelog_records = [
+            r for r in self.wal.replay() if r.kind == "changelog"
+        ]
+        for record in changelog_records:
+            dir_id, fp, entry = record.payload
+            self.changelogs.append(dir_id, fp, entry, record.lsn, self.sim.now)
+        # Rebuild the dir index and entry counts from the recovered KV state.
+        for key, inode in list(self.kv.scan_prefix(("D",))):
+            self._dir_index[inode.id] = key
+        total = replayed + len(changelog_records)
+        yield from self._cpu(self.perf.kv_put_us * max(1, total) * 0.01)
+        # Recovery CPU: bulk replay is much cheaper per record than the
+        # foreground path; 1% of a kv_put per record matches the ~5.8 s /
+        # 2.5 M records rate of §6.7 when scaled.
+        if peer is not None:
+            try:
+                value, _ = yield from self.node.call(
+                    peer, "clone_invalidation", {},
+                    timeout_us=self.perf.rpc_timeout_us,
+                    max_attempts=3,
+                )
+                self.inval.restore(value["ids"])
+            except RpcError:
+                # Peer down too (correlated failure): proceed with an empty
+                # list — directories invalidated before the crash have no
+                # surviving inode, so their operations fail with ENOENT.
+                self.counters.inc("recovery_clone_failed")
+        self.end_recovery()
+        return total
+
+    # ------------------------------------------------------------------
+    # raw-packet tap: unlock notifications and sync fallback (§4.2.1)
+    # ------------------------------------------------------------------
+    def _tap(self, packet: Packet) -> bool:
+        if packet.header is None or packet.header.op != StaleSetOp.INSERT:
+            return False
+        payload = packet.payload
+        if not isinstance(payload, RpcResponse) or not isinstance(payload.value, dict):
+            return False
+        value = payload.value
+        if "unlock_token" not in value:
+            return False
+        if packet.header.ret == 1:
+            # The switch's multicast copy back to us: insert confirmed.
+            # Consume exactly one copy per token — for self-addressed RPCs
+            # (mark_entry) the other, identical copy must reach the
+            # dispatcher to complete the call.
+            if value.get("origin") == self.addr:
+                return self.release_unlock_token(value["unlock_token"], applied_sync=False)
+            return False
+        # RET == 0: overflow redirect — we are the parent's owner and must
+        # apply the update synchronously, then complete the operation.
+        self.sim.spawn(self._sync_fallback(payload, packet), name=f"fallback-{self.addr}")
+        return True
+
+    def _sync_fallback(self, response: RpcResponse, packet: Packet) -> Generator:
+        value = response.value
+        yield from self._apply_entry_with_inode_txn(value["parent_id"], value["entry"])
+        # Forward the (now fulfilled) response to the client.
+        self.node.net.send(
+            Packet(
+                src=self.addr,
+                dst=value["client"],
+                payload=RpcResponse(rpc_id=response.rpc_id, value={"status": "ok"}),
+            )
+        )
+        origin = value["origin"]
+        if origin == self.addr:
+            self.release_unlock_token(value["unlock_token"], applied_sync=True)
+        else:
+            self.node.notify(origin, "unlock_fallback", {"token": value["unlock_token"]})
+        self.counters.inc("fallback_applied")
+
+    def _handle_unlock_fallback(self, request: RpcRequest, packet: Packet) -> Generator:
+        yield from self._cpu(self.perf.changelog_append_us)
+        self.release_unlock_token(request.args["token"], applied_sync=True)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _check_valid(self, args: Dict[str, Any]) -> None:
+        """Server-side validation check (step 3a)."""
+        if not self.inval.validate(args.get("ancestor_ids", ())):
+            raise FSError(EINVALIDPATH, args.get("path", "?"))
+
+    def pending_changelog_entries(self) -> int:
+        return self.changelogs.pending_entries()

@@ -1,0 +1,15 @@
+"""Exceptions for the key-value storage engine."""
+
+__all__ = ["KVError", "KeyNotFound", "TransactionError"]
+
+
+class KVError(Exception):
+    """Base class for storage-engine errors."""
+
+
+class KeyNotFound(KVError):
+    """Raised by ``get`` when the key has no live value."""
+
+
+class TransactionError(KVError):
+    """Raised on misuse of a local transaction (double commit, use-after)."""

@@ -1,0 +1,169 @@
+"""Ordered in-memory key-value store: the RocksDB stand-in.
+
+Each metadata server stores its partition of inodes and directory entries
+in one of these (§3.2).  The API mirrors the subset of RocksDB the paper
+relies on:
+
+* ``put`` / ``get`` / ``delete`` on ordered keys;
+* prefix ``scan`` (directory entry listing: all entries share the parent
+  directory's *pid* as key prefix, Table 3);
+* local transactions that apply atomically (used to update a directory
+  inode's timestamps and size together, §4.3);
+* WAL-backed crash recovery: a crash destroys the memtable, recovery
+  replays the WAL (§4.4.2, "servers maintain data structures in DRAM").
+
+Keys are ``(pid, name)`` tuples ordered lexicographically; values are
+opaque objects.  A sorted key index maintained with ``bisect`` gives
+O(log n) point ops and O(log n + k) prefix scans.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .errors import KeyNotFound
+from .txn import Transaction
+from .wal import WriteAheadLog
+
+__all__ = ["KVStore"]
+
+Key = Tuple[Any, ...]
+
+
+class KVStore:
+    """An ordered KV store with write-ahead logging."""
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None, log_writes: bool = True):
+        self._mem: Dict[Key, Any] = {}
+        self._index: List[Key] = []
+        self.wal = wal if wal is not None else WriteAheadLog()
+        self._log_writes = log_writes
+        self.puts = 0
+        self.gets = 0
+        self.deletes = 0
+        self.scans = 0
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._mem
+
+    # -- point operations -------------------------------------------------
+    def put(self, key: Key, value: Any, log: bool = True) -> None:
+        """Insert or overwrite *key*; WAL-logged unless *log* is False."""
+        if log and self._log_writes:
+            self.wal.append("kv", ("put", key, value))
+        self._apply_put(key, value)
+        self.puts += 1
+
+    def get(self, key: Key) -> Any:
+        """Return the live value for *key*; raises :class:`KeyNotFound`."""
+        self.gets += 1
+        try:
+            return self._mem[key]
+        except KeyError:
+            raise KeyNotFound(repr(key)) from None
+
+    def get_or_none(self, key: Key) -> Optional[Any]:
+        self.gets += 1
+        return self._mem.get(key)
+
+    def delete(self, key: Key, log: bool = True) -> bool:
+        """Remove *key*; returns False when absent (no error, like RocksDB)."""
+        if log and self._log_writes:
+            self.wal.append("kv", ("delete", key, None))
+        self.deletes += 1
+        return self._apply_delete(key)
+
+    # -- scans ---------------------------------------------------------------
+    def scan_prefix(self, prefix: Key) -> Iterator[Tuple[Key, Any]]:
+        """Yield (key, value) for all keys whose leading fields equal *prefix*.
+
+        With keys of shape ``(pid, name)``, ``scan_prefix((pid,))`` lists a
+        directory's entries in name order.
+        """
+        self.scans += 1
+        n = len(prefix)
+        start = bisect.bisect_left(self._index, prefix)
+        for i in range(start, len(self._index)):
+            key = self._index[i]
+            if key[:n] != prefix:
+                break
+            yield key, self._mem[key]
+
+    def count_prefix(self, prefix: Key) -> int:
+        return sum(1 for _ in self.scan_prefix(prefix))
+
+    # -- transactions -----------------------------------------------------------
+    def transaction(self) -> Transaction:
+        """Begin a local transaction; commit applies all ops atomically."""
+        return Transaction(self)
+
+    def _commit(self, ops: List[Tuple[str, Key, Any]]) -> None:
+        """Apply a transaction's ops under a single WAL record."""
+        if self._log_writes:
+            self.wal.append("txn", list(ops))
+        for op, key, value in ops:
+            if op == "put":
+                self._apply_put(key, value)
+                self.puts += 1
+            elif op == "delete":
+                self._apply_delete(key)
+                self.deletes += 1
+            else:
+                raise ValueError(f"unknown txn op: {op}")
+
+    # -- snapshots (checkpointing) ---------------------------------------
+    def snapshot(self) -> Dict[Key, Any]:
+        """A consistent copy of the live key space (checkpoint image)."""
+        return dict(self._mem)
+
+    def restore(self, image: Dict[Key, Any]) -> None:
+        """Replace the memtable with a checkpoint image."""
+        self._mem = dict(image)
+        self._index = sorted(self._mem.keys())
+
+    # -- crash / recovery ----------------------------------------------------
+    def crash(self) -> None:
+        """Lose all DRAM state; the WAL survives."""
+        self._mem.clear()
+        self._index.clear()
+
+    def recover(self) -> int:
+        """Replay unapplied WAL records; returns the number replayed."""
+        replayed = 0
+        for record in self.wal.replay():
+            if record.kind == "kv":
+                op, key, value = record.payload
+                if op == "put":
+                    self._apply_put(key, value)
+                else:
+                    self._apply_delete(key)
+                replayed += 1
+            elif record.kind == "txn":
+                for op, key, value in record.payload:
+                    if op == "put":
+                        self._apply_put(key, value)
+                    else:
+                        self._apply_delete(key)
+                replayed += 1
+            # Foreign record kinds (e.g. change-log) belong to other
+            # components sharing the WAL; they replay themselves.
+        return replayed
+
+    # -- internals ---------------------------------------------------------
+    def _apply_put(self, key: Key, value: Any) -> None:
+        if key not in self._mem:
+            bisect.insort(self._index, key)
+        self._mem[key] = value
+
+    def _apply_delete(self, key: Key) -> bool:
+        if key not in self._mem:
+            return False
+        del self._mem[key]
+        idx = bisect.bisect_left(self._index, key)
+        if idx < len(self._index) and self._index[idx] == key:
+            self._index.pop(idx)
+        return True

@@ -1,0 +1,99 @@
+"""Write-ahead log (§4.4.2).
+
+Each metadata server persists every accepted operation to a WAL before
+modifying in-DRAM structures; after a crash the server replays unapplied
+records to rebuild its key-value store and change-logs.  The paper also
+marks change-log records as *applied* once an aggregation has persisted
+them on the directory-owner's side, so replay can skip them.
+
+The log itself is an in-memory list standing in for a durable device: a
+simulated crash wipes the store's memtable but never the WAL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List
+
+__all__ = ["WalRecord", "WriteAheadLog"]
+
+
+@dataclass
+class WalRecord:
+    """One durable log record.
+
+    ``kind`` is a free-form tag ("kv", "txn", "changelog", ...);
+    ``payload`` is whatever the writer needs to redo the operation;
+    ``applied`` marks change-log records that no longer need replay.
+    """
+
+    lsn: int
+    kind: str
+    payload: Any
+    applied: bool = False
+
+
+@dataclass
+class WriteAheadLog:
+    """An append-only durable log with applied-marking and checkpointing."""
+
+    _records: List[WalRecord] = field(default_factory=list)
+    _next_lsn: int = 0
+    appends: int = 0
+
+    def append(self, kind: str, payload: Any) -> int:
+        """Durably append a record; returns its LSN."""
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        self._records.append(WalRecord(lsn=lsn, kind=kind, payload=payload))
+        self.appends += 1
+        return lsn
+
+    def mark_applied(self, lsn: int) -> None:
+        """Mark a record as applied (skipped during replay)."""
+        record = self._find(lsn)
+        record.applied = True
+
+    def mark_applied_if_present(self, lsn: int) -> bool:
+        """Tolerant variant: records already truncated by a checkpoint are
+        gone, which is fine — the checkpoint covers them."""
+        try:
+            self.mark_applied(lsn)
+            return True
+        except KeyError:
+            return False
+
+    def _find(self, lsn: int) -> WalRecord:
+        # Records are sorted by construction; after checkpoints the offset
+        # shifts, so locate by subtraction from the first live record.
+        if not self._records:
+            raise KeyError(f"WAL record {lsn} not found (log empty)")
+        base = self._records[0].lsn
+        idx = lsn - base
+        if 0 <= idx < len(self._records) and self._records[idx].lsn == lsn:
+            return self._records[idx]
+        raise KeyError(f"WAL record {lsn} not found")
+
+    def replay(self) -> Iterator[WalRecord]:
+        """Iterate unapplied records in LSN order (crash recovery)."""
+        for record in self._records:
+            if not record.applied:
+                yield record
+
+    def checkpoint(self) -> int:
+        """Drop all applied-or-superseded prefix records; returns #dropped.
+
+        Only the contiguous applied prefix can be dropped: a later applied
+        record may still be needed to preserve LSN arithmetic.
+        """
+        dropped = 0
+        while self._records and self._records[0].applied:
+            self._records.pop(0)
+            dropped += 1
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def unapplied_count(self) -> int:
+        return sum(1 for r in self._records if not r.applied)

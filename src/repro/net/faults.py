@@ -1,0 +1,88 @@
+"""Network fault injection: loss, duplication, and reordering (§4.4.1).
+
+The paper's protocol runs on UDP and must tolerate dropped, duplicated,
+and reordered datagrams.  :class:`FaultModel` decides the fate of each
+transmission from a seeded RNG so fault scenarios replay deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["FaultModel", "FaultDecision"]
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The fate of one transmitted packet.
+
+    ``copies`` is how many instances of the packet to deliver (0 = lost,
+    1 = normal, 2 = duplicated); ``extra_delays`` holds one additional
+    latency jitter per copy, which produces reordering when positive.
+    """
+
+    copies: int
+    extra_delays: tuple
+
+    @property
+    def dropped(self) -> bool:
+        return self.copies == 0
+
+
+class FaultModel:
+    """Randomised per-packet fault decisions.
+
+    Parameters
+    ----------
+    loss_prob:
+        Probability a datagram is silently dropped.
+    dup_prob:
+        Probability a datagram is delivered twice.
+    reorder_prob / reorder_jitter_us:
+        With ``reorder_prob`` each copy is delayed by a uniform extra
+        0..``reorder_jitter_us``, letting later sends overtake it.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        loss_prob: float = 0.0,
+        dup_prob: float = 0.0,
+        reorder_prob: float = 0.0,
+        reorder_jitter_us: float = 10.0,
+    ):
+        for name, p in (
+            ("loss_prob", loss_prob),
+            ("dup_prob", dup_prob),
+            ("reorder_prob", reorder_prob),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if reorder_jitter_us < 0:
+            raise ValueError(f"reorder_jitter_us must be >= 0, got {reorder_jitter_us}")
+        self._rng = rng
+        self.loss_prob = loss_prob
+        self.dup_prob = dup_prob
+        self.reorder_prob = reorder_prob
+        self.reorder_jitter_us = reorder_jitter_us
+
+    @classmethod
+    def reliable(cls) -> "FaultModel":
+        """A fault model that never drops, duplicates, or reorders."""
+        return cls(random.Random(0))
+
+    def decide(self) -> FaultDecision:
+        """Roll the dice for one transmission."""
+        if self.loss_prob and self._rng.random() < self.loss_prob:
+            return FaultDecision(copies=0, extra_delays=())
+        copies = 1
+        if self.dup_prob and self._rng.random() < self.dup_prob:
+            copies = 2
+        delays = []
+        for _ in range(copies):
+            if self.reorder_prob and self._rng.random() < self.reorder_prob:
+                delays.append(self._rng.uniform(0.0, self.reorder_jitter_us))
+            else:
+                delays.append(0.0)
+        return FaultDecision(copies=copies, extra_delays=tuple(delays))

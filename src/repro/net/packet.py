@@ -1,0 +1,144 @@
+"""Packet and header formats for the SwitchFS/AsyncFS wire protocol (§5.1).
+
+The paper runs its protocol over UDP.  The UDP payload optionally begins
+with a *stale-set operation header* that the programmable switch parses at
+line rate; the rest of the payload is an RPC request/response that only
+servers interpret.  Two reserved UDP ports distinguish traffic with and
+without the switch header so the parser can branch cheaply.
+
+We keep simulated payloads as Python objects (the servers never serialise
+them), but the stale-set header has a real byte-level codec
+(:meth:`StaleSetHeader.pack` / :meth:`StaleSetHeader.unpack`) exercised by
+the switch parser, mirroring Figure 8's layout::
+
+    | OP (1B) | RET (1B) | SEQ (4B) | FINGERPRINT (8B, 49 bits used) |
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+__all__ = [
+    "StaleSetOp",
+    "StaleSetHeader",
+    "Packet",
+    "REGULAR_PORT",
+    "STALESET_PORT",
+    "FINGERPRINT_BITS",
+    "HEADER_STRUCT",
+]
+
+#: UDP port for SwitchFS traffic the switch must inspect (carries a header).
+STALESET_PORT = 5901
+#: UDP port for SwitchFS traffic the switch forwards without inspection.
+REGULAR_PORT = 5900
+
+#: Width of a directory fingerprint (§3.3): 17 index bits + 32 tag bits.
+FINGERPRINT_BITS = 49
+
+HEADER_STRUCT = struct.Struct("!BBIQ")
+
+
+class StaleSetOp(enum.IntEnum):
+    """Stale-set operation requested from the switch data plane."""
+
+    NONE = 0
+    INSERT = 1
+    QUERY = 2
+    REMOVE = 3
+
+
+@dataclass(frozen=True)
+class StaleSetHeader:
+    """The optional switch-visible header at the head of the UDP payload.
+
+    Attributes
+    ----------
+    op:
+        Which stale-set operation the switch should perform.
+    fingerprint:
+        49-bit directory fingerprint the operation targets.
+    seq:
+        Server-local sequence number; the switch uses it to discard
+        duplicated ``REMOVE`` requests caused by retransmission (§4.4.1).
+    ret:
+        Result written by the switch: for ``QUERY``, 1 when the fingerprint
+        is present (directory *scattered*); for ``INSERT``, 1 when the
+        insert succeeded (0 means overflow, triggering sync fallback).
+    """
+
+    op: StaleSetOp
+    fingerprint: int = 0
+    seq: int = 0
+    ret: int = 0
+
+    def __post_init__(self):
+        if not 0 <= self.fingerprint < (1 << FINGERPRINT_BITS):
+            raise ValueError(f"fingerprint out of 49-bit range: {self.fingerprint:#x}")
+        if not 0 <= self.seq < (1 << 32):
+            raise ValueError(f"seq out of 32-bit range: {self.seq}")
+        if self.ret not in (0, 1):
+            raise ValueError(f"ret must be 0 or 1, got {self.ret}")
+
+    def pack(self) -> bytes:
+        """Serialise to the 14-byte on-wire layout."""
+        return HEADER_STRUCT.pack(int(self.op), self.ret, self.seq, self.fingerprint)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "StaleSetHeader":
+        """Parse the on-wire layout back into a header."""
+        op, ret, seq, fingerprint = HEADER_STRUCT.unpack(data[: HEADER_STRUCT.size])
+        return cls(op=StaleSetOp(op), fingerprint=fingerprint, seq=seq, ret=ret)
+
+    def with_ret(self, ret: int) -> "StaleSetHeader":
+        """Copy with the switch-written RET field set."""
+        return replace(self, ret=ret)
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A simulated UDP datagram.
+
+    ``src``/``dst`` are host addresses (strings such as ``"server-3"``).
+    ``header`` is present only for packets on :data:`STALESET_PORT`.
+    ``payload`` is the RPC message object.  ``size_bytes`` feeds the MTU
+    accounting of proactive change-log pushes.
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    port: int = REGULAR_PORT
+    header: Optional[StaleSetHeader] = None
+    size_bytes: int = 128
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self):
+        if self.port == STALESET_PORT and self.header is None:
+            raise ValueError("stale-set port packets require a header")
+        if self.port == REGULAR_PORT and self.header is not None:
+            raise ValueError("regular-port packets must not carry a header")
+
+    def clone(self, **overrides: Any) -> "Packet":
+        """Duplicate this packet (fresh uid), optionally overriding fields.
+
+        Used by the fault model for duplication and by the switch for
+        multicast / address rewriting.
+        """
+        fields = dict(
+            src=self.src,
+            dst=self.dst,
+            payload=self.payload,
+            port=self.port,
+            header=self.header,
+            size_bytes=self.size_bytes,
+        )
+        fields.update(overrides)
+        return Packet(**fields)

@@ -1,0 +1,319 @@
+"""RPC layer over the simulated UDP fabric.
+
+The paper's implementation uses a coroutine-based, non-blocking RPC engine
+on DPDK; ours provides the same facilities on the simulation kernel:
+
+* request/response matching by ``rpc_id`` with timeout + retransmission;
+* at-most-once execution on the server via a reply cache (duplicated
+  requests re-send the cached reply without re-executing, §4.4.1);
+* one-way notifications (no reply expected) for change-log pushes and
+  unlock messages;
+* custom reply routing so a response can carry a stale-set header and be
+  processed/multicast by the switch on its way back.
+
+Handlers are generators: they yield simulation events (lock acquisitions,
+core holds, nested RPCs) and return either a plain value or a
+:class:`Reply` when they need to control the response packet.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..sim import AllOf, Event, Simulator
+from .packet import Packet, REGULAR_PORT, STALESET_PORT, StaleSetHeader
+from .topology import Network
+
+__all__ = ["RpcRequest", "RpcResponse", "Reply", "RpcError", "RpcTimeout", "RpcNode"]
+
+
+class RpcError(Exception):
+    """An application-level error returned by the remote handler."""
+
+
+class RpcTimeout(RpcError):
+    """All retransmissions of a request went unanswered."""
+
+
+_rpc_ids = itertools.count(1)
+
+
+@dataclass
+class RpcRequest:
+    """The request payload carried inside a packet."""
+
+    rpc_id: int
+    method: str
+    args: Any
+    src: str
+    wants_reply: bool = True
+    attempt: int = 0
+
+
+@dataclass
+class RpcResponse:
+    """The response payload; ``error`` is a string for application errors."""
+
+    rpc_id: int
+    value: Any = None
+    error: Optional[str] = None
+
+
+@dataclass
+class Reply:
+    """Handler-controlled response.
+
+    ``header`` attaches a stale-set operation for the switch to execute on
+    the way back (e.g. INSERT of the parent fingerprint after a create).
+    ``dst`` overrides the destination (defaults to the requester).
+    ``size_bytes`` sizes the response packet.
+    """
+
+    value: Any = None
+    error: Optional[str] = None
+    header: Optional[StaleSetHeader] = None
+    dst: Optional[str] = None
+    size_bytes: int = 128
+
+
+#: Handler signature: (request, packet) -> generator returning value|Reply.
+Handler = Callable[[RpcRequest, Packet], Generator]
+
+
+@dataclass
+class _Pending:
+    event: Event
+    packet: Optional[Packet] = None
+
+
+class RpcNode:
+    """One host's RPC endpoint: dispatcher, handlers, and outgoing calls."""
+
+    def __init__(self, sim: Simulator, net: Network, addr: str):
+        self.sim = sim
+        self.net = net
+        self.addr = addr
+        self._inbox = net.attach(addr)
+        self._handlers: Dict[str, Handler] = {}
+        self._pending: Dict[int, _Pending] = {}
+        # Reply cache for at-most-once semantics: rpc_id -> Reply | None
+        # (None while the first execution is still in progress).
+        self._reply_cache: Dict[Tuple[str, int], Optional[Reply]] = {}
+        self._raw_taps: List[Callable[[Packet], bool]] = []
+        self._alive = True
+        self.retransmits = 0
+        sim.spawn(self._dispatch_loop(), name=f"rpc-dispatch-{addr}")
+
+    # -- registration --------------------------------------------------------
+    def register(self, method: str, handler: Handler) -> None:
+        """Install *handler* for *method*; replaces any existing one."""
+        self._handlers[method] = handler
+
+    def add_raw_tap(self, tap: Callable[[Packet], bool]) -> None:
+        """Install a packet tap that sees every inbound packet first.
+
+        A tap returning True consumes the packet (used by servers to
+        observe switch-multicast unlock notifications that are copies of
+        RPC responses addressed to clients).
+        """
+        self._raw_taps.append(tap)
+
+    # -- lifecycle (crash injection) ------------------------------------------
+    def kill(self) -> None:
+        """Stop processing packets, simulating a host crash."""
+        self._alive = False
+
+    def revive(self) -> None:
+        self._alive = True
+
+    # -- outgoing calls --------------------------------------------------------
+    def call(
+        self,
+        dst: str,
+        method: str,
+        args: Any,
+        make_header: Optional[Callable[[int], StaleSetHeader]] = None,
+        timeout_us: float = 100.0,
+        max_attempts: int = 5,
+        size_bytes: int = 128,
+    ) -> Generator:
+        """Generator: perform an RPC and return ``(value, response_packet)``.
+
+        ``make_header(attempt)`` builds a fresh stale-set header per
+        transmission — REMOVE requests need a new SEQ per resend (§4.4.1).
+        Raises :class:`RpcTimeout` after ``max_attempts`` silent attempts
+        and :class:`RpcError` for application errors.
+        """
+        rpc_id = next(_rpc_ids)
+        pending = _Pending(event=self.sim.event())
+        self._pending[rpc_id] = pending
+        try:
+            for attempt in range(max_attempts):
+                if attempt > 0:
+                    self.retransmits += 1
+                # Exponential backoff: a slow server (e.g. one blocked on a
+                # contended lock during aggregation) still answers the first
+                # request; later retransmits are duplicates the reply cache
+                # absorbs, so patience grows instead of giving up.
+                attempt_timeout = timeout_us * min(2 ** attempt, 64)
+                request = RpcRequest(
+                    rpc_id=rpc_id, method=method, args=args, src=self.addr, attempt=attempt
+                )
+                header = make_header(attempt) if make_header else None
+                port = STALESET_PORT if header is not None else REGULAR_PORT
+                self.net.send(
+                    Packet(
+                        src=self.addr,
+                        dst=dst,
+                        payload=request,
+                        port=port,
+                        header=header,
+                        size_bytes=size_bytes,
+                    )
+                )
+                timeout = self.sim.timeout(attempt_timeout)
+                which, _ = yield self.sim.any_of([pending.event, timeout])
+                if which == 0:
+                    response: RpcResponse = pending.event.value
+                    if response.error is not None:
+                        raise RpcError(response.error)
+                    return response.value, pending.packet
+            raise RpcTimeout(f"rpc {method} to {dst} timed out after {max_attempts} attempts")
+        finally:
+            self._pending.pop(rpc_id, None)
+
+    def notify(
+        self,
+        dst: str,
+        method: str,
+        args: Any,
+        header: Optional[StaleSetHeader] = None,
+        size_bytes: int = 128,
+    ) -> None:
+        """Fire-and-forget request (no reply, no retransmission)."""
+        request = RpcRequest(
+            rpc_id=next(_rpc_ids), method=method, args=args, src=self.addr, wants_reply=False
+        )
+        port = STALESET_PORT if header is not None else REGULAR_PORT
+        self.net.send(
+            Packet(
+                src=self.addr,
+                dst=dst,
+                payload=request,
+                port=port,
+                header=header,
+                size_bytes=size_bytes,
+            )
+        )
+
+    def multicast_call(
+        self,
+        dsts: List[str],
+        method: str,
+        args: Any,
+        timeout_us: float = 100.0,
+        max_attempts: int = 5,
+    ) -> Generator:
+        """Generator: call every destination, return list of values in order."""
+        procs = [
+            self.sim.spawn(
+                self.call(dst, method, args, timeout_us=timeout_us, max_attempts=max_attempts),
+                name=f"mcall-{method}-{dst}",
+            )
+            for dst in dsts
+        ]
+        results = yield AllOf(self.sim, procs)
+        return [value for value, _pkt in results]
+
+    def send_response(
+        self,
+        request: RpcRequest,
+        reply: Reply,
+        request_packet: Packet,
+    ) -> None:
+        """Transmit the response packet for *request* according to *reply*."""
+        response = RpcResponse(rpc_id=request.rpc_id, value=reply.value, error=reply.error)
+        dst = reply.dst or request.src
+        port = STALESET_PORT if reply.header is not None else REGULAR_PORT
+        self.net.send(
+            Packet(
+                src=self.addr,
+                dst=dst,
+                payload=response,
+                port=port,
+                header=reply.header,
+                size_bytes=reply.size_bytes,
+            )
+        )
+
+    # -- dispatcher -------------------------------------------------------------
+    def _dispatch_loop(self) -> Generator:
+        while True:
+            packet: Packet = yield self._inbox.get()
+            if not self._alive:
+                continue  # crashed host: packets fall on the floor
+            consumed = False
+            for tap in self._raw_taps:
+                if tap(packet):
+                    consumed = True
+                    break
+            if consumed:
+                continue
+            payload = packet.payload
+            if isinstance(payload, RpcResponse):
+                self._complete(payload, packet)
+            elif isinstance(payload, RpcRequest):
+                self.sim.spawn(
+                    self._serve(payload, packet),
+                    name=f"serve-{payload.method}@{self.addr}",
+                )
+            # Unknown payloads are dropped silently (UDP semantics).
+
+    def _complete(self, response: RpcResponse, packet: Packet) -> None:
+        pending = self._pending.get(response.rpc_id)
+        if pending is None or pending.event.triggered:
+            return  # duplicate or late response
+        pending.packet = packet
+        pending.event.succeed(response)
+
+    def _serve(self, request: RpcRequest, packet: Packet) -> Generator:
+        handler = self._handlers.get(request.method)
+        if handler is None:
+            if request.wants_reply:
+                self.send_response(
+                    request,
+                    Reply(error=f"no handler for method {request.method!r} on {self.addr}"),
+                    packet,
+                )
+            return
+        cache_key = (request.src, request.rpc_id)
+        if request.wants_reply:
+            if cache_key in self._reply_cache:
+                cached = self._reply_cache[cache_key]
+                if cached is not None:
+                    self.send_response(request, cached, packet)
+                # else: first execution still running; drop the duplicate —
+                # the client will retransmit again if the reply is lost.
+                return
+            self._reply_cache[cache_key] = None
+        try:
+            result = yield self.sim.spawn(
+                handler(request, packet), name=f"handler-{request.method}@{self.addr}"
+            )
+        except RpcError as exc:
+            result = Reply(error=str(exc))
+        except Exception as exc:  # noqa: BLE001 - a crashed handler must not
+            # leave the caller retrying forever against an in-progress
+            # reply-cache marker; surface the bug as an error reply.
+            result = Reply(error=f"EINTERNAL: {type(exc).__name__}: {exc}")
+        reply = result if isinstance(result, Reply) else Reply(value=result)
+        if request.wants_reply:
+            self._reply_cache[cache_key] = reply
+            if self._alive:
+                self.send_response(request, reply, packet)
+
+    def clear_reply_cache(self) -> None:
+        """Drop at-most-once state (used when simulating a server restart)."""
+        self._reply_cache.clear()

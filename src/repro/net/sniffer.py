@@ -1,0 +1,133 @@
+"""Packet capture for debugging and protocol analysis.
+
+:class:`Sniffer` taps a :class:`~repro.net.topology.Network` and records
+every transmitted packet with its virtual timestamp, addressing, port,
+stale-set header, and a payload summary.  Use it to answer questions like
+"how many messages does one create cost?" or "which packets carried
+REMOVE headers during that aggregation?" without instrumenting servers.
+
+>>> sniffer = Sniffer.attach(cluster.net)
+>>> cluster.run_op(fs.create("/d/f"))
+>>> sniffer.count(method="create")
+1
+>>> sniffer.detach()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .packet import Packet, StaleSetOp
+from .rpc import RpcRequest, RpcResponse
+from .topology import Network
+
+__all__ = ["Sniffer", "CapturedPacket"]
+
+
+@dataclass(frozen=True)
+class CapturedPacket:
+    """One captured transmission (recorded at send time, pre-fault-roll)."""
+
+    time_us: float
+    src: str
+    dst: str
+    port: int
+    kind: str              # "request" | "response" | "other"
+    method: Optional[str]  # RPC method for requests
+    rpc_id: Optional[int]
+    staleset_op: Optional[str]
+    fingerprint: Optional[int]
+    size_bytes: int
+
+    @classmethod
+    def of(cls, packet: Packet, now: float) -> "CapturedPacket":
+        payload = packet.payload
+        if isinstance(payload, RpcRequest):
+            kind, method, rpc_id = "request", payload.method, payload.rpc_id
+        elif isinstance(payload, RpcResponse):
+            kind, method, rpc_id = "response", None, payload.rpc_id
+        else:
+            kind, method, rpc_id = "other", None, None
+        header = packet.header
+        return cls(
+            time_us=now,
+            src=packet.src,
+            dst=packet.dst,
+            port=packet.port,
+            kind=kind,
+            method=method,
+            rpc_id=rpc_id,
+            staleset_op=StaleSetOp(header.op).name if header else None,
+            fingerprint=header.fingerprint if header else None,
+            size_bytes=packet.size_bytes,
+        )
+
+
+class Sniffer:
+    """Wraps ``net.send`` to capture traffic; restore with :meth:`detach`."""
+
+    def __init__(self, net: Network):
+        self.net = net
+        self.packets: List[CapturedPacket] = []
+        self._original_send: Optional[Callable] = None
+
+    @classmethod
+    def attach(cls, net: Network) -> "Sniffer":
+        sniffer = cls(net)
+        sniffer._original_send = net.send
+
+        def tapped_send(packet: Packet) -> None:
+            sniffer.packets.append(CapturedPacket.of(packet, net.sim.now))
+            sniffer._original_send(packet)
+
+        net.send = tapped_send
+        return sniffer
+
+    def detach(self) -> None:
+        if self._original_send is not None:
+            self.net.send = self._original_send
+            self._original_send = None
+
+    # -- queries -----------------------------------------------------------
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        method: Optional[str] = None,
+        staleset_op: Optional[str] = None,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+    ) -> List[CapturedPacket]:
+        out = self.packets
+        if kind is not None:
+            out = [p for p in out if p.kind == kind]
+        if method is not None:
+            out = [p for p in out if p.method == method]
+        if staleset_op is not None:
+            out = [p for p in out if p.staleset_op == staleset_op]
+        if src is not None:
+            out = [p for p in out if p.src == src]
+        if dst is not None:
+            out = [p for p in out if p.dst == dst]
+        return out
+
+    def count(self, **kwargs) -> int:
+        return len(self.filter(**kwargs))
+
+    def clear(self) -> None:
+        self.packets.clear()
+
+    def messages_per_op(self, method: str) -> float:
+        """Average wire messages between consecutive *method* requests.
+
+        A quick protocol-cost probe: run a homogeneous stream, then ask how
+        many packets each operation put on the wire.
+        """
+        requests = self.filter(kind="request", method=method)
+        if len(requests) < 2:
+            raise ValueError(f"need >= 2 {method!r} requests captured")
+        span = [
+            p for p in self.packets
+            if requests[0].time_us <= p.time_us <= requests[-1].time_us
+        ]
+        return len(span) / (len(requests) - 1)

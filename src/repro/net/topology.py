@@ -1,0 +1,202 @@
+"""Simulated network fabric and topologies (§5.4).
+
+:class:`Network` connects named hosts through a chain of switch devices.
+Every transmitted packet:
+
+1. rolls the :class:`~repro.net.faults.FaultModel` dice (loss / dup /
+   reorder);
+2. traverses the path's links, paying ``link_latency_us`` per link;
+3. is handed to each switch device on the path in order — a device may
+   forward, rewrite, multicast, or consume the packet;
+4. lands in the destination host's inbox :class:`~repro.sim.Store`.
+
+Two topologies cover the paper's deployments:
+
+* :func:`single_rack_path` — host → ToR switch → host (the programmable
+  switch is the ToR, monitoring all rack traffic);
+* :func:`leaf_spine_path` — host → leaf → spine → leaf → host, with the
+  programmable stale set at the spine (Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Protocol, Sequence
+
+from ..sim import Simulator, Store
+from .faults import FaultModel
+from .packet import Packet, STALESET_PORT
+
+__all__ = [
+    "SwitchDevice",
+    "PassthroughSwitch",
+    "Network",
+    "PathFn",
+    "single_rack_path",
+    "leaf_spine_path",
+    "multi_spine_path",
+]
+
+
+class SwitchDevice(Protocol):
+    """Anything that can sit on a packet path.
+
+    ``process`` returns the packets leaving the device: usually the input
+    unchanged, possibly rewritten (address rewriter), replicated
+    (multicast), or an empty list (consumed).  ``latency_us`` is the
+    device's forwarding delay.
+    """
+
+    latency_us: float
+
+    def process(self, packet: Packet) -> List[Packet]:
+        ...
+
+
+class PassthroughSwitch:
+    """A plain, non-programmable switch: forwards everything untouched."""
+
+    def __init__(self, latency_us: float = 0.0):
+        self.latency_us = latency_us
+
+    def process(self, packet: Packet) -> List[Packet]:
+        return [packet]
+
+
+#: A path function maps a packet to the ordered device chain it traverses.
+PathFn = Callable[[Packet], List[SwitchDevice]]
+
+
+def single_rack_path(devices: Sequence[SwitchDevice]) -> PathFn:
+    """All pairs of hosts communicate through the same ToR device chain."""
+    chain = list(devices)
+
+    def path(packet: Packet) -> List[SwitchDevice]:
+        return chain
+
+    return path
+
+
+def leaf_spine_path(
+    rack_of: Dict[str, int],
+    leaves: Dict[int, SwitchDevice],
+    spine: SwitchDevice,
+) -> PathFn:
+    """Leaf-spine routing with the programmable stale set at the spine.
+
+    ToR switches no longer see all traffic in a multi-rack deployment
+    (Figure 10), so the stale set moves to the spine.  SwitchFS routes
+    every packet that carries (or may trigger) a stale-set operation
+    through the spine; we model that by climbing to the spine for all
+    traffic — intra-rack round trips just pay the two extra links the
+    detour costs, which is exactly the trade the paper describes.
+    """
+
+    def path(packet: Packet) -> List[SwitchDevice]:
+        return [leaves[rack_of[packet.src]], spine, leaves[rack_of[packet.dst]]]
+
+    return path
+
+
+def multi_spine_path(
+    rack_of: Dict[str, int],
+    leaves: Dict[int, SwitchDevice],
+    spines: Sequence[SwitchDevice],
+) -> PathFn:
+    """Multiple programmable spine switches (§5.4 scaling).
+
+    Directories are range-partitioned over the spines by fingerprint:
+    a packet carrying a stale-set operation is routed through the spine
+    designated for its fingerprint, so each spine holds a disjoint slice
+    of the stale set.  Packets without stale-set headers balance over the
+    spines by flow hash.
+    """
+    spines = list(spines)
+    if not spines:
+        raise ValueError("need at least one spine switch")
+    k = len(spines)
+
+    def path(packet: Packet) -> List[SwitchDevice]:
+        if packet.port == STALESET_PORT and packet.header is not None:
+            idx = packet.header.fingerprint % k
+        else:
+            idx = hash((packet.src, packet.dst)) % k
+        return [leaves[rack_of[packet.src]], spines[idx], leaves[rack_of[packet.dst]]]
+
+    return path
+
+
+class Network:
+    """The fabric: registers hosts, owns the path function, moves packets."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path_fn: "PathFn",
+        link_latency_us: float = 0.75,
+        faults: Optional[FaultModel] = None,
+    ):
+        if link_latency_us < 0:
+            raise ValueError(f"link latency must be >= 0, got {link_latency_us}")
+        self.sim = sim
+        self._path_fn = path_fn
+        self.link_latency_us = link_latency_us
+        self.faults = faults or FaultModel.reliable()
+        self._inboxes: Dict[str, Store] = {}
+        self.packets_sent = 0
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+
+    # -- host management ---------------------------------------------------
+    def attach(self, addr: str) -> Store:
+        """Register a host and return its inbox store."""
+        if addr in self._inboxes:
+            raise ValueError(f"host address already attached: {addr}")
+        inbox = Store(self.sim)
+        self._inboxes[addr] = inbox
+        return inbox
+
+    def inbox(self, addr: str) -> Store:
+        return self._inboxes[addr]
+
+    @property
+    def hosts(self) -> Iterable[str]:
+        return self._inboxes.keys()
+
+    # -- transmission --------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Transmit *packet* asynchronously (fire and forget, UDP-style)."""
+        self.packets_sent += 1
+        decision = self.faults.decide()
+        if decision.dropped:
+            self.packets_dropped += 1
+            return
+        for extra in decision.extra_delays:
+            copy = packet if decision.copies == 1 else packet.clone()
+            self.sim.spawn(
+                self._deliver(copy, extra), name=f"deliver-{packet.uid}"
+            )
+
+    def _deliver(self, packet: Packet, extra_delay: float):
+        devices = self._path_fn(packet)
+        # First link: source NIC to the first device.
+        yield self.sim.timeout(self.link_latency_us + extra_delay)
+        in_flight = [packet]
+        for device in devices:
+            if device.latency_us > 0:
+                yield self.sim.timeout(device.latency_us)
+            out: List[Packet] = []
+            for p in in_flight:
+                out.extend(device.process(p))
+            if not out:
+                return  # consumed (e.g. dropped by policy)
+            in_flight = out
+            yield self.sim.timeout(self.link_latency_us)
+        for p in in_flight:
+            box = self._inboxes.get(p.dst)
+            if box is None:
+                # Destination unknown (e.g. crashed and detached): UDP
+                # silently drops.
+                self.packets_dropped += 1
+                continue
+            self.packets_delivered += 1
+            box.put(p)

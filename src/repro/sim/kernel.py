@@ -1,0 +1,399 @@
+"""Discrete-event simulation kernel.
+
+This module provides the execution substrate for every simulated component
+in the reproduction: metadata servers, clients, the programmable switch's
+control plane, and the network.  It is a compact, dependency-free
+discrete-event engine in the style of SimPy:
+
+* :class:`Simulator` owns the virtual clock and the pending-event heap.
+* :class:`Event` is a one-shot occurrence that processes can wait on.
+* :class:`Process` wraps a generator; the generator *yields* events (or
+  other processes) to suspend until they fire, and receives the event's
+  value as the result of the ``yield`` expression.
+
+Virtual time is a ``float`` measured in **microseconds** throughout the
+project, matching the latency scale of the paper's evaluation (RTTs of a
+few microseconds, operation latencies of tens to hundreds).
+
+Example
+-------
+>>> sim = Simulator()
+>>> def hello(sim, out):
+...     yield sim.timeout(5.0)
+...     out.append(sim.now)
+>>> out = []
+>>> _ = sim.spawn(hello(sim, out))
+>>> sim.run()
+>>> out
+[5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel itself."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*; it is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`, after which its callbacks run on the
+    simulator loop at the current virtual time.  Processes wait on events
+    by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful, delivering *value* to waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._enqueue_triggered(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Mark the event failed; waiters see *exc* raised at the yield."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._exc = exc
+        self.sim._enqueue_triggered(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run *fn(event)* when the event fires (immediately if already done)."""
+        if self._processed:
+            fn(self)
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(fn)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule_at(sim.now + delay, self)
+
+
+class Process(Event):
+    """A running generator, itself usable as an event (fires on return).
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event succeeds, the generator resumes with the event's value; when it
+    fails, the exception is thrown into the generator.  The process event
+    succeeds with the generator's return value, or fails with its uncaught
+    exception.
+    """
+
+    __slots__ = ("gen", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off at the current time.
+        boot = Event(sim)
+        boot.add_callback(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op, matching SimPy's
+        forgiving behaviour for racing interrupts.
+        """
+        if self._triggered:
+            return
+        target = self._waiting_on
+        if target is not None and not target._processed:
+            # Detach from the event we were waiting on so its later firing
+            # does not resume us twice.
+            if target.callbacks is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        kick = Event(self.sim)
+        kick.add_callback(lambda ev: self._step_throw(Interrupt(cause)))
+        kick.succeed()
+
+    # -- internals ---------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        if event._exc is not None:
+            self._step_throw(event._exc)
+        else:
+            self._step_send(event._value)
+
+    def _step_send(self, value: Any) -> None:
+        try:
+            target = self.gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self.fail(exc)
+        else:
+            self._wait_on(target)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        try:
+            target = self.gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except BaseException as err:  # noqa: BLE001
+            if err is exc:
+                # The process did not handle the thrown exception.
+                self.fail(err)
+            else:
+                self.fail(err)
+        else:
+            self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self._step_throw(
+                SimulationError(f"process {self.name!r} yielded non-event {target!r}")
+            )
+            return
+        if target.sim is not self.sim:
+            self._step_throw(SimulationError("yielded event from another simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Fires when all constituent events have succeeded.
+
+    Succeeds with a list of their values in the order given.  Fails as soon
+    as any constituent fails.
+    """
+
+    __slots__ = ("_pending", "_events")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for ev in self._events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e._value for e in self._events])
+
+
+class AnyOf(Event):
+    """Fires when the first constituent event triggers.
+
+    Succeeds with ``(index, value)`` of the first event to succeed; fails
+    if the first event to trigger failed.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+        for idx, ev in enumerate(self._events):
+            ev.add_callback(self._make_cb(idx))
+
+    def _make_cb(self, idx: int) -> Callable[[Event], None]:
+        def cb(ev: Event) -> None:
+            if self._triggered:
+                return
+            if ev._exc is not None:
+                self.fail(ev._exc)
+            else:
+                self.succeed((idx, ev._value))
+
+        return cb
+
+
+class Simulator:
+    """The virtual clock and event loop.
+
+    All simulated components hold a reference to one ``Simulator`` and
+    schedule their activity through it.  The loop is strictly
+    deterministic: ties in virtual time break by insertion order.
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: List = []
+        self._counter = itertools.count()
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now
+
+    # -- event constructors ----------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires after *delay* microseconds."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process from generator *gen*."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling internals ----------------------------------------------
+    def _schedule_at(self, when: float, event: Event) -> None:
+        heapq.heappush(self._heap, (when, next(self._counter), event))
+
+    def _enqueue_triggered(self, event: Event) -> None:
+        if isinstance(event, Timeout):
+            return  # already scheduled at construction
+        self._schedule_at(self._now, event)
+
+    # -- running -----------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("time went backwards")
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or virtual time reaches *until*.
+
+        When *until* is given, the clock is advanced to exactly *until*
+        even if the last processed event fired earlier.
+        """
+        self._stopped = False
+        while self._heap and not self._stopped:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_process(self, proc: Process, until: Optional[float] = None) -> Any:
+        """Run until *proc* completes and return its value.
+
+        Raises the process's exception if it failed, or
+        :class:`SimulationError` if the simulation drained (deadlock) or hit
+        *until* before the process finished.
+        """
+        while not proc.triggered:
+            if not self._heap:
+                raise SimulationError(f"deadlock: process {proc.name!r} never finished")
+            if until is not None and self._heap[0][0] > until:
+                raise SimulationError(f"process {proc.name!r} still running at t={until}")
+            self.step()
+        return proc.value
+
+    def stop(self) -> None:
+        """Halt :meth:`run` after the current event."""
+        self._stopped = True

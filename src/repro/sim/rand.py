@@ -1,0 +1,73 @@
+"""Seeded randomness helpers: deterministic RNG streams and Zipf sampling.
+
+Every stochastic component (workload generators, network fault injection)
+draws from an explicitly seeded :class:`random.Random` so experiments are
+reproducible run-to-run.  ``ZipfGenerator`` provides the skewed access
+pattern used for hotspot experiments; its inverse-CDF table makes sampling
+O(log n) without scipy.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Sequence, TypeVar
+
+__all__ = ["make_rng", "ZipfGenerator", "weighted_choice"]
+
+T = TypeVar("T")
+
+
+def make_rng(seed: int, stream: str = "") -> random.Random:
+    """A deterministic RNG, decorrelated per *stream* name.
+
+    Components derive their own stream ("workload", "net-loss", ...) from a
+    single experiment seed without sharing state.
+    """
+    return random.Random(f"{seed}:{stream}")
+
+
+class ZipfGenerator:
+    """Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^theta.
+
+    theta=0 degenerates to uniform; theta around 0.99 is the classic
+    YCSB-style hot-spot skew.
+    """
+
+    def __init__(self, n: int, theta: float, rng: random.Random):
+        if n < 1:
+            raise ValueError(f"zipf universe must be >= 1, got {n}")
+        if theta < 0:
+            raise ValueError(f"zipf theta must be >= 0, got {theta}")
+        self.n = n
+        self.theta = theta
+        self._rng = rng
+        weights = [1.0 / ((i + 1) ** theta) for i in range(n)]
+        total = sum(weights)
+        self._cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float drift
+
+    def sample(self) -> int:
+        """Draw one rank; rank 0 is the hottest."""
+        u = self._rng.random()
+        return bisect.bisect_left(self._cdf, u)
+
+
+def weighted_choice(items: Sequence[T], weights: Sequence[float], rng: random.Random) -> T:
+    """Pick one item with probability proportional to its weight."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights length mismatch")
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    u = rng.random() * total
+    acc = 0.0
+    for item, w in zip(items, weights):
+        acc += w
+        if u < acc:
+            return item
+    return items[-1]

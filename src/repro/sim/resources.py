@@ -1,0 +1,195 @@
+"""Shared-resource primitives built on the simulation kernel.
+
+These model the contended facilities in the reproduction:
+
+* :class:`Resource` — a counted pool; used for server CPU cores, so that a
+  server with four cores can execute at most four service segments at once.
+* :class:`Lock` — a capacity-1 resource; used for inode write locks.
+* :class:`RWLock` — readers-writer lock; used for directory inodes and
+  change-logs (§4.2 locks read/write change-logs and inodes separately).
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``; used
+  for server request queues and mailboxes.
+
+All primitives are FIFO-fair: waiters are served in arrival order, which
+keeps the simulation deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional, Tuple
+
+from .kernel import Event, Simulator, SimulationError
+
+__all__ = ["Resource", "Lock", "RWLock", "Store"]
+
+
+class Resource:
+    """A counted pool of identical units (e.g. CPU cores).
+
+    ``acquire()`` returns an event that fires when a unit is granted;
+    ``release()`` returns one unit.  The :meth:`using` helper wraps a timed
+    hold as a sub-process-friendly generator.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        ev = self.sim.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release of an idle resource")
+        if self._waiters:
+            # Hand the unit straight to the next waiter; _in_use unchanged.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def using(self, hold: float) -> Generator[Event, Any, None]:
+        """Generator: acquire, hold for *hold* microseconds, release."""
+        yield self.acquire()
+        try:
+            yield self.sim.timeout(hold)
+        finally:
+            self.release()
+
+
+class Lock(Resource):
+    """A mutual-exclusion lock (capacity-1 resource)."""
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim, capacity=1)
+
+    @property
+    def locked(self) -> bool:
+        return self._in_use > 0
+
+
+class RWLock:
+    """A FIFO-fair readers-writer lock.
+
+    Multiple readers may hold the lock concurrently; writers are exclusive.
+    Fairness is strict FIFO over the mixed arrival order (a writer arriving
+    before a reader blocks that reader), which prevents writer starvation
+    and keeps runs deterministic.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._readers = 0
+        self._writer = False
+        # Queue of (is_writer, event) in arrival order.
+        self._waiters: Deque[Tuple[bool, Event]] = deque()
+
+    @property
+    def readers(self) -> int:
+        return self._readers
+
+    @property
+    def write_locked(self) -> bool:
+        return self._writer
+
+    def acquire_read(self) -> Event:
+        ev = self.sim.event()
+        if not self._writer and not self._waiters:
+            self._readers += 1
+            ev.succeed()
+        else:
+            self._waiters.append((False, ev))
+        return ev
+
+    def acquire_write(self) -> Event:
+        ev = self.sim.event()
+        if not self._writer and self._readers == 0 and not self._waiters:
+            self._writer = True
+            ev.succeed()
+        else:
+            self._waiters.append((True, ev))
+        return ev
+
+    def release_read(self) -> None:
+        if self._readers <= 0:
+            raise SimulationError("release_read without a read hold")
+        self._readers -= 1
+        self._drain()
+
+    def release_write(self) -> None:
+        if not self._writer:
+            raise SimulationError("release_write without a write hold")
+        self._writer = False
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._waiters:
+            is_writer, ev = self._waiters[0]
+            if is_writer:
+                if self._writer or self._readers:
+                    return
+                self._waiters.popleft()
+                self._writer = True
+                ev.succeed()
+                return
+            if self._writer:
+                return
+            self._waiters.popleft()
+            self._readers += 1
+            ev.succeed()
+            # Keep draining: consecutive readers may all enter.
+
+
+class Store:
+    """Unbounded FIFO channel of items with blocking ``get``.
+
+    ``put`` never blocks (the network is the only bounded element in the
+    model; server queues are unbounded, with queueing delay emerging from
+    core contention instead).
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = self.sim.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None

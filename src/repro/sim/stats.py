@@ -1,0 +1,126 @@
+"""Measurement utilities for simulated experiments.
+
+The benchmark harness reports the same quantities the paper does:
+throughput in operations per (virtual) second, and average / p99 latency
+in microseconds.  These helpers keep raw samples so percentiles are exact
+rather than approximated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["LatencyRecorder", "ThroughputMeter", "Counter", "percentile"]
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Exact percentile by linear interpolation (numpy 'linear' method).
+
+    *q* is in [0, 100].  Raises ``ValueError`` on an empty sample set so a
+    silent 0.0 never masquerades as a measurement.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q out of range: {q}")
+    xs = sorted(samples)
+    if len(xs) == 1:
+        return xs[0]
+    rank = (q / 100.0) * (len(xs) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return xs[lo]
+    frac = rank - lo
+    return xs[lo] + frac * (xs[hi] - xs[lo])
+
+
+class LatencyRecorder:
+    """Collects per-operation latency samples, optionally keyed by op name."""
+
+    def __init__(self):
+        self._samples: Dict[str, List[float]] = {}
+
+    def record(self, latency_us: float, op: str = "all") -> None:
+        if latency_us < 0:
+            raise ValueError(f"negative latency: {latency_us}")
+        self._samples.setdefault(op, []).append(latency_us)
+
+    def samples(self, op: str = "all") -> List[float]:
+        return list(self._samples.get(op, []))
+
+    def count(self, op: str = "all") -> int:
+        return len(self._samples.get(op, []))
+
+    def mean(self, op: str = "all") -> float:
+        xs = self._samples.get(op)
+        if not xs:
+            raise ValueError(f"no latency samples for op {op!r}")
+        return sum(xs) / len(xs)
+
+    def p(self, q: float, op: str = "all") -> float:
+        xs = self._samples.get(op)
+        if not xs:
+            raise ValueError(f"no latency samples for op {op!r}")
+        return percentile(xs, q)
+
+    def ops(self) -> Iterable[str]:
+        return self._samples.keys()
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        for op, xs in other._samples.items():
+            self._samples.setdefault(op, []).extend(xs)
+
+
+class ThroughputMeter:
+    """Counts completions over a virtual-time window.
+
+    ``ops_per_sec`` converts microsecond virtual time into the ops/s the
+    paper's figures use.  A measurement window (`start`/`stop`) lets the
+    harness exclude warm-up and drain phases.
+    """
+
+    def __init__(self):
+        self._count = 0
+        self._start: Optional[float] = None
+        self._stop: Optional[float] = None
+
+    def start(self, now: float) -> None:
+        self._start = now
+        self._count = 0
+
+    def stop(self, now: float) -> None:
+        self._stop = now
+
+    def record(self) -> None:
+        if self._start is not None and self._stop is None:
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def ops_per_sec(self) -> float:
+        if self._start is None or self._stop is None:
+            raise ValueError("throughput window not closed")
+        elapsed_us = self._stop - self._start
+        if elapsed_us <= 0:
+            raise ValueError(f"empty throughput window: {elapsed_us}")
+        return self._count / (elapsed_us / 1e6)
+
+
+class Counter:
+    """Named event counters (cache hits, fallbacks, aggregations, ...)."""
+
+    def __init__(self):
+        self._counts: Dict[str, int] = {}
+
+    def inc(self, name: str, by: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)

@@ -1,0 +1,15 @@
+"""Programmable-switch data plane: register stages, stale set, and device."""
+
+from .control import SwitchControlPlane, SwitchStats
+from .pipeline import RegisterStage
+from .stale_set import StaleSet, StaleSetConfig
+from .switch import ProgrammableSwitch
+
+__all__ = [
+    "RegisterStage",
+    "StaleSet",
+    "StaleSetConfig",
+    "ProgrammableSwitch",
+    "SwitchControlPlane",
+    "SwitchStats",
+]

@@ -1,0 +1,84 @@
+"""Switch control plane: route installation, failure injection, telemetry.
+
+The control plane is the slow-path management interface a real deployment
+drives through the switch OS.  It installs the fingerprint → owner-server
+routes the address rewriter needs, injects switch failures for the
+recovery drill of §6.7, and exports occupancy / traffic statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from .switch import ProgrammableSwitch
+
+__all__ = ["SwitchControlPlane", "SwitchStats"]
+
+
+@dataclass(frozen=True)
+class SwitchStats:
+    """Point-in-time data-plane statistics."""
+
+    occupancy: int
+    capacity: int
+    inserts: int
+    insert_overflows: int
+    removes: int
+    removes_filtered: int
+    queries: int
+    forwarded: int
+    multicasts: int
+    redirects: int
+    mirrored: int
+
+    @property
+    def load_factor(self) -> float:
+        return self.occupancy / self.capacity if self.capacity else 0.0
+
+
+class SwitchControlPlane:
+    """Management handle over one programmable switch."""
+
+    def __init__(self, switch: ProgrammableSwitch):
+        self.switch = switch
+        self._failure_listeners = []
+
+    def install_routes(self, fingerprint_owner: Callable[[int], str]) -> None:
+        """Program the fingerprint → owner-server mapping (fallback path)."""
+        self.switch.install_fingerprint_owner(fingerprint_owner)
+
+    def on_failure(self, listener: Callable[[], None]) -> None:
+        """Register a callback run when the switch fails (cluster recovery)."""
+        self._failure_listeners.append(listener)
+
+    def fail(self) -> None:
+        """Crash the switch: all data-plane state is lost (§4.4.2).
+
+        AsyncFS recovery initialises an *empty* stale set and has every
+        server flush its change-logs; listeners registered via
+        :meth:`on_failure` perform that flush.
+        """
+        self.switch.reset()
+        for listener in self._failure_listeners:
+            listener()
+
+    def stats(self) -> SwitchStats:
+        sw = self.switch
+        pipes = [sw.pipe(i) for i in range(sw.num_pipes)]
+        return SwitchStats(
+            occupancy=sw.occupancy,
+            capacity=sum(p.config.capacity for p in pipes),
+            inserts=sum(p.inserts for p in pipes),
+            insert_overflows=sum(p.insert_overflows for p in pipes),
+            removes=sum(p.removes for p in pipes),
+            removes_filtered=sum(p.removes_filtered for p in pipes),
+            queries=sum(p.queries for p in pipes),
+            forwarded=sw.forwarded,
+            multicasts=sw.multicasts,
+            redirects=sw.redirects,
+            mirrored=sw.mirrored,
+        )
+
+    def per_pipe_occupancy(self) -> Dict[int, int]:
+        return {i: self.switch.pipe(i).occupancy for i in range(self.switch.num_pipes)}

@@ -1,0 +1,87 @@
+"""Register stages and register actions (§5.3).
+
+A Tofino-class switch exposes per-stage register arrays that packets read
+and modify as they traverse the pipeline.  The architecture guarantees two
+properties the stale set's correctness rests on (§5.3 *Properties*):
+
+* **Atomicity** — operations within one stage are atomic;
+* **Ordered execution** — if packet A enters stage S1 before packet B,
+  A reaches every later stage before B.
+
+In this reproduction the switch processes each packet's full pipeline as
+one synchronous call in packet-arrival order, which realises both
+properties by construction; :class:`RegisterStage` still models the three
+register *actions* of the paper exactly, so the insert/remove interleaving
+semantics (duplicate-tag cleanup, conditional writes) are faithful.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["RegisterStage"]
+
+#: Register value that denotes an empty slot.
+EMPTY = 0
+
+
+class RegisterStage:
+    """One pipeline stage: an array of 32-bit registers.
+
+    Three register actions are available, mirroring §5.3:
+
+    * :meth:`query` — compare the register with *tag*, return equality;
+    * :meth:`conditional_insert` — write *tag* if the register is empty;
+      returns True when the register now holds *tag* (it was empty or
+      already equal);
+    * :meth:`conditional_remove` — zero the register if it equals *tag*.
+    """
+
+    __slots__ = ("size", "_regs", "occupied")
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"stage size must be >= 1, got {size}")
+        self.size = size
+        self._regs: List[int] = [EMPTY] * size
+        self.occupied = 0
+
+    def _check(self, index: int, tag: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"register index {index} out of range [0, {self.size})")
+        if tag == EMPTY:
+            raise ValueError("tag 0 is reserved for empty registers")
+        if not 0 < tag < (1 << 32):
+            raise ValueError(f"tag out of 32-bit range: {tag:#x}")
+
+    def query(self, index: int, tag: int) -> bool:
+        """Register action (a): does the register hold *tag*?"""
+        self._check(index, tag)
+        return self._regs[index] == tag
+
+    def conditional_insert(self, index: int, tag: int) -> bool:
+        """Register action (b): write *tag* if empty.
+
+        Returns True when the original value was empty **or already equal
+        to tag** (the paper's insert treats both as success so a duplicated
+        insert is idempotent).
+        """
+        self._check(index, tag)
+        current = self._regs[index]
+        if current == EMPTY:
+            self._regs[index] = tag
+            self.occupied += 1
+            return True
+        return current == tag
+
+    def conditional_remove(self, index: int, tag: int) -> None:
+        """Register action (c): zero the register if it equals *tag*."""
+        self._check(index, tag)
+        if self._regs[index] == tag:
+            self._regs[index] = EMPTY
+            self.occupied -= 1
+
+    def reset(self) -> None:
+        """Clear every register (switch failure / control-plane flush)."""
+        self._regs = [EMPTY] * self.size
+        self.occupied = 0

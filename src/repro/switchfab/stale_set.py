@@ -1,0 +1,151 @@
+"""The in-network stale set (§5.3).
+
+The stale set tracks the fingerprints of directories in *scattered* state
+(delayed updates pending on other servers).  It is organised like a
+set-associative cache over the switch's register stages: the upper bits of
+a 49-bit fingerprint index a register in every stage, and the low 32 bits
+are the tag stored there.  With the paper's configuration — 10 stages of
+2^17 registers — the set holds up to 1,310,720 fingerprints.
+
+Operations (executed as a sequence of register actions, one per stage):
+
+* ``query``  — every stage runs *register query*; results OR together.
+* ``insert`` — stages run *conditional insert* until one succeeds; all
+  later stages run *conditional remove* so no duplicate tags survive
+  (Figure 9).  Returns False when every way is occupied (overflow), which
+  triggers the synchronous-update fallback.
+* ``remove`` — every stage runs *conditional remove*.  A per-source
+  sequence number filter discards duplicated removes from retransmission
+  (§4.4.1): a remove executes only if its SEQ exceeds the largest
+  previously seen from that source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..net.packet import FINGERPRINT_BITS
+from .pipeline import RegisterStage
+
+__all__ = ["StaleSetConfig", "StaleSet"]
+
+#: Tag width in bits (register width).
+TAG_BITS = 32
+
+
+@dataclass(frozen=True)
+class StaleSetConfig:
+    """Geometry of the stale set.
+
+    The paper's switch offers ``num_stages=10`` stages of
+    ``index_bits=17`` (131,072 registers each).  Tests and laptop-scale
+    experiments shrink ``index_bits``; semantics are unchanged.
+    """
+
+    num_stages: int = 10
+    index_bits: int = 17
+
+    def __post_init__(self):
+        if self.num_stages < 1:
+            raise ValueError(f"need at least one stage, got {self.num_stages}")
+        if not 1 <= self.index_bits <= FINGERPRINT_BITS - 1:
+            raise ValueError(f"index_bits out of range: {self.index_bits}")
+
+    @property
+    def registers_per_stage(self) -> int:
+        return 1 << self.index_bits
+
+    @property
+    def capacity(self) -> int:
+        return self.num_stages * self.registers_per_stage
+
+
+class StaleSet:
+    """A set of 49-bit fingerprints stored across register stages."""
+
+    def __init__(self, config: Optional[StaleSetConfig] = None):
+        self.config = config or StaleSetConfig()
+        self._stages: List[RegisterStage] = [
+            RegisterStage(self.config.registers_per_stage)
+            for _ in range(self.config.num_stages)
+        ]
+        # Largest REMOVE sequence number seen per source address (§4.4.1).
+        self._remove_seq: Dict[str, int] = {}
+        self.inserts = 0
+        self.insert_overflows = 0
+        self.removes = 0
+        self.removes_filtered = 0
+        self.queries = 0
+
+    # -- fingerprint split -----------------------------------------------------
+    def _split(self, fingerprint: int) -> (int, int):
+        if not 0 <= fingerprint < (1 << FINGERPRINT_BITS):
+            raise ValueError(f"fingerprint out of 49-bit range: {fingerprint:#x}")
+        index = (fingerprint >> TAG_BITS) & (self.config.registers_per_stage - 1)
+        tag = fingerprint & ((1 << TAG_BITS) - 1)
+        if tag == 0:
+            # Tag 0 means "empty register"; fingerprint generation avoids it
+            # (see repro.core.schema.fingerprint_of) so hitting this is a bug.
+            raise ValueError("fingerprint with tag 0 cannot be stored")
+        return index, tag
+
+    # -- operations ---------------------------------------------------------
+    def query(self, fingerprint: int) -> bool:
+        """Is *fingerprint* in the set?  (Stale-set QUERY.)"""
+        self.queries += 1
+        index, tag = self._split(fingerprint)
+        hit = False
+        for stage in self._stages:
+            hit = hit or stage.query(index, tag)
+        return hit
+
+    def insert(self, fingerprint: int) -> bool:
+        """Add *fingerprint*; False on overflow (all ways full).
+
+        Following Figure 9: stages attempt *conditional insert* one by one
+        until the first success; every subsequent stage performs
+        *conditional remove* so a tag duplicated by concurrent inserts is
+        cleaned up.
+        """
+        self.inserts += 1
+        index, tag = self._split(fingerprint)
+        inserted = False
+        for stage in self._stages:
+            if not inserted:
+                inserted = stage.conditional_insert(index, tag)
+            else:
+                stage.conditional_remove(index, tag)
+        if not inserted:
+            self.insert_overflows += 1
+        return inserted
+
+    def remove(self, fingerprint: int, source: str = "", seq: Optional[int] = None) -> bool:
+        """Remove *fingerprint*; returns False if filtered as a duplicate.
+
+        When *seq* is given, the remove only executes if *seq* is strictly
+        larger than the largest sequence number previously accepted from
+        *source* — this is the duplicate-remove filter of §4.4.1.
+        """
+        if seq is not None:
+            last = self._remove_seq.get(source, -1)
+            if seq <= last:
+                self.removes_filtered += 1
+                return False
+            self._remove_seq[source] = seq
+        self.removes += 1
+        index, tag = self._split(fingerprint)
+        for stage in self._stages:
+            stage.conditional_remove(index, tag)
+        return True
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return sum(stage.occupied for stage in self._stages)
+
+    def reset(self) -> None:
+        """Lose all state (switch failure, §4.4.2) — including SEQ filters."""
+        for stage in self._stages:
+            stage.reset()
+        self._remove_seq.clear()

@@ -1,0 +1,132 @@
+"""The programmable switch data plane (§5.2, Figure 7).
+
+:class:`ProgrammableSwitch` is a :class:`~repro.net.topology.SwitchDevice`
+combining the paper's components:
+
+* **Parser** — extracts the stale-set header from packets on the reserved
+  stale-set UDP port (exercising the byte codec end-to-end);
+* **Router** — regular packets forward by destination; stale-set packets
+  route to the pipe owning their fingerprint prefix;
+* **Stale set** — one per egress pipe (pipes do not share state);
+* **Address rewriter** — on insert overflow, rewrites the destination to
+  the directory's owner server so updates fall back to synchronous mode;
+* **Packet mirroring** — a packet whose destination lives in a different
+  pipe than its fingerprint is mirrored across pipes (counted; it models
+  the recirculation cost of prior work [22, 72]).
+
+Behaviour per stale-set op:
+
+* ``QUERY``  — RET := membership; forward to the original destination.
+* ``INSERT`` — on success RET := 1 and the packet is **multicast** to both
+  the destination (client: operation complete) and the source (server:
+  unlock notification) — workflow step 6/7 of Figure 4.  On overflow
+  RET := 0 and the packet is **redirected** to the fingerprint's owner
+  server for synchronous fallback.
+* ``REMOVE`` — executed through the per-source SEQ duplicate filter;
+  forwarded to the original destination either way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..net.packet import Packet, StaleSetHeader, StaleSetOp, STALESET_PORT, FINGERPRINT_BITS
+from .stale_set import StaleSet, StaleSetConfig
+
+__all__ = ["ProgrammableSwitch"]
+
+
+class ProgrammableSwitch:
+    """Tofino-style switch model with per-pipe stale sets."""
+
+    def __init__(
+        self,
+        stale_config: Optional[StaleSetConfig] = None,
+        num_pipes: int = 1,
+        latency_us: float = 0.05,
+        fingerprint_owner: Optional[Callable[[int], str]] = None,
+        pipe_of_host: Optional[Callable[[str], int]] = None,
+    ):
+        if num_pipes < 1 or (num_pipes & (num_pipes - 1)) != 0:
+            raise ValueError(f"num_pipes must be a power of two, got {num_pipes}")
+        self.latency_us = latency_us
+        self.num_pipes = num_pipes
+        self._pipe_bits = num_pipes.bit_length() - 1
+        self._pipes: List[StaleSet] = [
+            StaleSet(stale_config) for _ in range(num_pipes)
+        ]
+        self._fingerprint_owner = fingerprint_owner
+        self._pipe_of_host = pipe_of_host or (lambda host: hash(host) % num_pipes)
+        self.mirrored = 0
+        self.forwarded = 0
+        self.multicasts = 0
+        self.redirects = 0
+
+    # -- control plane hooks -------------------------------------------------
+    def install_fingerprint_owner(self, fn: Callable[[int], str]) -> None:
+        """Install the fingerprint → owner-server route (used for fallback)."""
+        self._fingerprint_owner = fn
+
+    def reset(self) -> None:
+        """Switch failure: all data-plane state is lost (§4.4.2)."""
+        for pipe in self._pipes:
+            pipe.reset()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(p.occupancy for p in self._pipes)
+
+    def pipe(self, idx: int) -> StaleSet:
+        return self._pipes[idx]
+
+    def stale_set_for(self, fingerprint: int) -> StaleSet:
+        return self._pipes[self._pipe_index(fingerprint)]
+
+    def _pipe_index(self, fingerprint: int) -> int:
+        if self.num_pipes == 1:
+            return 0
+        return (fingerprint >> (FINGERPRINT_BITS - self._pipe_bits)) & (self.num_pipes - 1)
+
+    # -- data plane -----------------------------------------------------------
+    def process(self, packet: Packet) -> List[Packet]:
+        if packet.port != STALESET_PORT:
+            self.forwarded += 1
+            return [packet]
+        assert packet.header is not None
+        # Parser: run the real byte codec so header layout stays honest.
+        header = StaleSetHeader.unpack(packet.header.pack())
+        pipe_idx = self._pipe_index(header.fingerprint)
+        stale_set = self._pipes[pipe_idx]
+        if self._pipe_of_host(packet.dst) != pipe_idx:
+            # Destination port belongs to another pipe: mirror to reach it.
+            self.mirrored += 1
+
+        if header.op == StaleSetOp.QUERY:
+            present = stale_set.query(header.fingerprint)
+            self.forwarded += 1
+            return [packet.clone(header=header.with_ret(1 if present else 0))]
+
+        if header.op == StaleSetOp.INSERT:
+            ok = stale_set.insert(header.fingerprint)
+            if ok:
+                out = packet.clone(header=header.with_ret(1))
+                self.multicasts += 1
+                # Multicast: to the client (completion) and back to the
+                # sending server (unlock notification).
+                return [out, out.clone(dst=packet.src)]
+            if self._fingerprint_owner is None:
+                raise RuntimeError(
+                    "stale-set overflow but no fingerprint->owner route installed"
+                )
+            self.redirects += 1
+            fallback_dst = self._fingerprint_owner(header.fingerprint)
+            return [packet.clone(dst=fallback_dst, header=header.with_ret(0))]
+
+        if header.op == StaleSetOp.REMOVE:
+            stale_set.remove(header.fingerprint, source=packet.src, seq=header.seq)
+            self.forwarded += 1
+            return [packet]
+
+        # NONE: the header was attached for transport symmetry; forward.
+        self.forwarded += 1
+        return [packet]

@@ -1,0 +1,40 @@
+"""Workload generators: op mixes, populations, bursts, and traces."""
+
+from .bursts import BurstStream
+from .generator import FixedOpStream, MixStream, OpStream, safe_op
+from .mixes import (
+    CNN_TRAINING_MIX,
+    DATA_CENTER_SERVICES_MIX,
+    OpMix,
+    PANGU_METADATA_MIX,
+    THUMBNAIL_MIX,
+)
+from .population import (
+    Population,
+    bootstrap,
+    multiple_directories,
+    single_large_directory,
+    warm_client_cache,
+)
+from .traces import CNNTrainingTrace, ThumbnailTrace, trace_population
+
+__all__ = [
+    "OpMix",
+    "PANGU_METADATA_MIX",
+    "DATA_CENTER_SERVICES_MIX",
+    "CNN_TRAINING_MIX",
+    "THUMBNAIL_MIX",
+    "OpStream",
+    "FixedOpStream",
+    "MixStream",
+    "BurstStream",
+    "safe_op",
+    "Population",
+    "bootstrap",
+    "warm_client_cache",
+    "single_large_directory",
+    "multiple_directories",
+    "CNNTrainingTrace",
+    "ThumbnailTrace",
+    "trace_population",
+]

@@ -1,0 +1,116 @@
+"""Published operation mixes (Table 1 and Table 5).
+
+These ratios drive the synthetic end-to-end workloads: the PanguFS data
+center services mix, the CNN-training trace shape, and the thumbnail
+trace shape.  The generator in :mod:`repro.workloads.generator` samples
+operations from a mix; tests assert the mixes match the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "OpMix",
+    "PANGU_METADATA_MIX",
+    "DATA_CENTER_SERVICES_MIX",
+    "CNN_TRAINING_MIX",
+    "THUMBNAIL_MIX",
+]
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """A normalised distribution over operation names."""
+
+    name: str
+    weights: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self):
+        total = sum(w for _, w in self.weights)
+        if not 0.99 <= total <= 1.01:
+            raise ValueError(f"mix {self.name!r} weights sum to {total}, expected 1.0")
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.weights)
+
+    @property
+    def ops(self):
+        return [op for op, _ in self.weights]
+
+    @property
+    def probs(self):
+        return [w for _, w in self.weights]
+
+
+#: Table 1 — deployed PanguFS instances (Alibaba).  Category ratios
+#: (30.76% directory updates / 4.19% directory reads / 65.05% others)
+#: multiplied by the within-category detail ratios.
+PANGU_METADATA_MIX = OpMix(
+    name="pangu-metadata",
+    weights=(
+        ("create", 0.3076 * 0.3114),
+        ("delete", 0.3076 * 0.3862),
+        ("mkdir", 0.3076 * 0.0001),
+        ("rmdir", 0.3076 * 0.0001),
+        ("rename", 0.3076 * 0.3021),
+        # Residual rounding of the update category folds into create.
+        ("statdir", 0.0419 * 0.0661),
+        ("readdir", 0.0419 * 0.9339),
+        ("open", 0.6505 * 0.8085 / 2),
+        ("close", 0.6505 * 0.8085 / 2),
+        ("stat", 0.6505 * 0.1900),
+        ("chmod", 0.6505 * 0.0015),
+    ),
+)
+
+#: Table 5 — "Data Center Services" synthetic mix.
+DATA_CENTER_SERVICES_MIX = OpMix(
+    name="data-center-services",
+    weights=(
+        ("open", 0.263),
+        ("close", 0.263),
+        ("stat", 0.124),
+        ("create", 0.0958),
+        ("delete", 0.119),
+        ("rename", 0.093),
+        ("chmod", 0.001),
+        ("readdir", 0.039),
+        ("statdir", 0.0022),
+    ),
+)
+
+#: Table 5 — CNN-training trace (ImageNet/AlexNet lifecycle).
+CNN_TRAINING_MIX = OpMix(
+    name="cnn-training",
+    weights=(
+        ("open", 0.214),
+        ("close", 0.214),
+        ("stat", 0.214),
+        ("read", 0.142),
+        ("write", 0.071),
+        ("create", 0.071),
+        ("delete", 0.071),
+        ("mkdir", 0.001),
+        ("rmdir", 0.001),
+        ("statdir", 0.0005),
+        ("readdir", 0.0005),
+    ),
+)
+
+#: Table 5 — thumbnail-generation trace.
+THUMBNAIL_MIX = OpMix(
+    name="thumbnail",
+    weights=(
+        ("open", 0.2195),
+        ("close", 0.2195),
+        ("stat", 0.219),
+        ("read", 0.122),
+        ("write", 0.109),
+        ("create", 0.109),
+        ("mkdir", 0.001),
+        ("statdir", 0.0005),
+        ("readdir", 0.0005),
+    ),
+)

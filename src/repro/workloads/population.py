@@ -1,0 +1,191 @@
+"""Namespace populations: pre-building directory trees for experiments.
+
+The paper's experiments run against pre-created namespaces ("a single
+directory with 10 million files", "1024 directories with 0.1 million
+files each").  Creating millions of files through the full protocol
+would dominate simulation wall-time, so :func:`bootstrap` installs
+inodes, entries, and directory indexes **directly** into the servers'
+KV stores — exactly the state a protocol-driven population would reach
+after settling, minus the WAL history (pass ``log_writes=True`` when a
+recovery drill needs the WAL).
+
+Client caches are pre-warmed with the created directories so that
+experiments measure the operations under test, not cold path resolution
+(the paper's clients are warm as well).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.client import ResolvedDir
+from ..core.cluster import SwitchFSCluster
+from ..core.schema import (
+    DirEntry,
+    DirInode,
+    FileInode,
+    ROOT_ID,
+    dir_entry_key,
+    dir_meta_key,
+    file_meta_key,
+    fingerprint_of,
+    new_dir_id,
+)
+
+__all__ = ["Population", "bootstrap", "single_large_directory", "multiple_directories"]
+
+
+@dataclass
+class Population:
+    """A namespace layout: directories under the root, files per directory."""
+
+    dirs: List[str]  # directory names, all directly under "/"
+    files_per_dir: int
+    file_prefix: str = "pre"
+
+    # Filled by bootstrap():
+    dir_ids: Dict[str, int] = field(default_factory=dict)
+    dir_fps: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dir_paths(self) -> List[str]:
+        return [f"/{d}" for d in self.dirs]
+
+    def file_name(self, idx: int) -> str:
+        return f"{self.file_prefix}{idx}"
+
+    def total_files(self) -> int:
+        return len(self.dirs) * self.files_per_dir
+
+
+def single_large_directory(num_files: int) -> Population:
+    """The single-shared-directory hotspot layout (§6.2.1)."""
+    return Population(dirs=["shared"], files_per_dir=num_files)
+
+
+def multiple_directories(num_dirs: int = 1024, files_per_dir: int = 100) -> Population:
+    """The 1024-directory uniform layout (§6.2.1)."""
+    return Population(dirs=[f"d{i}" for i in range(num_dirs)], files_per_dir=files_per_dir)
+
+
+def bootstrap(
+    cluster,
+    population: Population,
+    log_writes: bool = False,
+    warm_clients: Optional[List[int]] = None,
+) -> Population:
+    """Install *population* into *cluster* directly (no protocol traffic).
+
+    Works for both :class:`~repro.core.SwitchFSCluster` and the baseline
+    clusters — placement follows each system's partition strategy, so the
+    installed state is exactly what protocol-driven population would have
+    produced.
+    """
+    if hasattr(cluster, "cmap"):
+        _install(population, cluster, _SwitchFSPlacement(cluster), log_writes)
+    else:
+        _install(population, cluster, _BaselinePlacement(cluster), log_writes)
+    for client_idx in warm_clients or []:
+        warm_client_cache(cluster, population, client_idx)
+    return population
+
+
+class _SwitchFSPlacement:
+    """Placement rules for the core system: fingerprint/dir-id routing."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    def dir_owner(self, dname: str) -> object:
+        fp = fingerprint_of(ROOT_ID, dname)
+        return self.cluster.server_by_addr(self.cluster.cmap.dir_owner_by_fp(fp))
+
+    def file_owner(self, dir_id: int, fname: str) -> object:
+        return self.cluster.server_by_addr(self.cluster.cmap.file_owner(dir_id, fname))
+
+    def root_owner(self) -> object:
+        root_fp = fingerprint_of(0, "/")
+        return self.cluster.server_by_addr(self.cluster.cmap.dir_owner_by_fp(root_fp))
+
+
+class _BaselinePlacement:
+    """Placement rules for baseline clusters: their partition strategy.
+
+    Baseline directory ids are deterministic (nonce 0) so that grouped
+    partitions can route by id without resolution.
+    """
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.partition = cluster.partition
+        self._paths: dict = {}
+
+    def dir_owner(self, dname: str) -> object:
+        addr = self.partition.dir_owner(ROOT_ID, dname, f"/{dname}")
+        return self.cluster.server_by_addr(addr)
+
+    def file_owner(self, dir_id: int, fname: str) -> object:
+        # dir_path is only consulted by the subtree partition, which needs
+        # the top-level component; every population dir is top-level.
+        addr = self.partition.file_owner(dir_id, fname, self._dir_path(dir_id))
+        return self.cluster.server_by_addr(addr)
+
+    def root_owner(self) -> object:
+        return self.cluster.server_by_addr(self.partition.dir_owner_root())
+
+    def _dir_path(self, dir_id: int) -> str:
+        return self._paths.get(dir_id, "/")
+
+
+def _install(population: Population, cluster, placement, log_writes: bool) -> None:
+    now = cluster.sim.now
+    deterministic = isinstance(placement, _BaselinePlacement)
+    root_owner = placement.root_owner()
+    for nonce, dname in enumerate(population.dirs, start=1):
+        fp = fingerprint_of(ROOT_ID, dname)
+        dir_id = new_dir_id(ROOT_ID, dname, 0 if deterministic else nonce)
+        population.dir_ids[dname] = dir_id
+        population.dir_fps[dname] = fp
+        if deterministic:
+            placement._paths[dir_id] = f"/{dname}"
+        owner = placement.dir_owner(dname)
+        inode = DirInode(
+            id=dir_id, pid=ROOT_ID, name=dname, fingerprint=fp,
+            ctime=now, mtime=now, entry_count=population.files_per_dir,
+        )
+        owner.kv.put(dir_meta_key(ROOT_ID, dname), inode, log=log_writes)
+        owner._dir_index[dir_id] = dir_meta_key(ROOT_ID, dname)
+        root_owner.kv.put(
+            dir_entry_key(ROOT_ID, dname), DirEntry(True, 0o755), log=log_writes
+        )
+
+        for i in range(population.files_per_dir):
+            fname = population.file_name(i)
+            fowner = placement.file_owner(dir_id, fname)
+            fowner.kv.put(
+                file_meta_key(dir_id, fname),
+                FileInode(pid=dir_id, name=fname, ctime=now, mtime=now),
+                log=log_writes,
+            )
+            owner.kv.put(dir_entry_key(dir_id, fname), DirEntry(False, 0o644), log=log_writes)
+
+    root_key = dir_meta_key(0, "/")
+    root = root_owner.kv.get(root_key)
+    root_owner.kv.put(root_key, root.touched(now, len(population.dirs)), log=log_writes)
+
+
+def warm_client_cache(
+    cluster: SwitchFSCluster, population: Population, client_idx: int = 0
+) -> None:
+    """Prime a client's metadata cache with the population's directories."""
+    fs = cluster.client(client_idx)
+    for dname in population.dirs:
+        fs._cache[f"/{dname}"] = ResolvedDir(
+            id=population.dir_ids[dname],
+            fingerprint=population.dir_fps[dname],
+            pid=ROOT_ID,
+            name=dname,
+            perm=0o755,
+            ancestor_ids=(population.dir_ids[dname],),
+        )

@@ -1,0 +1,146 @@
+"""Real-world trace synthesis (§6.6).
+
+The paper replays two application traces; neither is public, but their
+published structure fully determines shape-faithful synthetic versions:
+
+* **CNN training** — training AlexNet on ImageNet: ~1.28 M files (scaled
+  here) in 1000 directories; the trace covers the dataset's lifecycle:
+  *download* (create every file), *access* (epochs of open/read/close in
+  random order), *removal* (delete every file).
+* **Thumbnail generation** — access 1 M images and create a thumbnail per
+  image: per image open/read/close + create/write/close of the thumbnail
+  file.
+
+Both are many-small-file, metadata-intensive workloads (metadata ops are
+>80% of operations).  Data reads/writes are modelled as a fixed-latency
+datanode access on the client side (the metadata cluster is off that
+path, as in the paper's 8-metadata + 8-datanode deployment).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from ..core.client import LibFS
+from ..core.errors import FSError
+from ..sim import make_rng
+from .generator import OpStream, OpThunk, safe_op
+from .population import Population
+
+__all__ = ["CNNTrainingTrace", "ThumbnailTrace", "trace_population"]
+
+
+def trace_population(num_dirs: int, files_per_dir: int, prefix: str = "img") -> Population:
+    return Population(
+        dirs=[f"class{i}" for i in range(num_dirs)],
+        files_per_dir=files_per_dir,
+        file_prefix=prefix,
+    )
+
+
+class CNNTrainingTrace(OpStream):
+    """Download → epoch access → removal lifecycle over a class-directory tree."""
+
+    def __init__(
+        self,
+        population: Population,
+        epochs: int = 1,
+        seed: int = 7,
+        data_latency_us: float = 120.0,
+        data_enabled: bool = True,
+    ):
+        super().__init__("cnn-training")
+        self.pop = population
+        self.data_latency_us = data_latency_us if data_enabled else 0.0
+        rng = make_rng(seed, "cnn")
+        files: List[Tuple[str, str]] = [
+            (d, population.file_name(i))
+            for d in population.dir_paths
+            for i in range(population.files_per_dir)
+        ]
+        self._script: List[Tuple[str, str]] = []
+        # Phase 1: download (create + write each file). Files are
+        # pre-populated by bootstrap as the *download target namespace*;
+        # the trace creates fresh epoch-local shard files alongside.
+        for d, f in files:
+            self._script.append(("create", f"{d}/dl-{f}"))
+            self._script.append(("write", f"{d}/dl-{f}"))
+        # Phase 2: epochs of randomised open/read/close.
+        for _ in range(epochs):
+            order = list(files)
+            rng.shuffle(order)
+            for d, f in order:
+                self._script.append(("open", f"{d}/dl-{f}"))
+                self._script.append(("read", f"{d}/dl-{f}"))
+                self._script.append(("close", f"{d}/dl-{f}"))
+        # Phase 3: removal.
+        for d, f in files:
+            self._script.append(("delete", f"{d}/dl-{f}"))
+        self._pos = 0
+
+    def __len__(self) -> int:
+        return len(self._script)
+
+    def next_thunk(self) -> OpThunk:
+        op, path = self._script[self._pos % len(self._script)]
+        self._pos += 1
+        thunk = _make_thunk(op, path, self.data_latency_us)
+        thunk.op_name = op
+        return thunk
+
+
+class ThumbnailTrace(OpStream):
+    """Per image: open/read/close the source, create/write/close a thumbnail."""
+
+    def __init__(
+        self,
+        population: Population,
+        seed: int = 7,
+        data_latency_us: float = 120.0,
+        data_enabled: bool = True,
+    ):
+        super().__init__("thumbnail")
+        self.pop = population
+        self.data_latency_us = data_latency_us if data_enabled else 0.0
+        rng = make_rng(seed, "thumb")
+        images = [
+            (d, population.file_name(i))
+            for d in population.dir_paths
+            for i in range(population.files_per_dir)
+        ]
+        rng.shuffle(images)
+        self._script: List[Tuple[str, str]] = []
+        for d, f in images:
+            self._script.append(("open", f"{d}/{f}"))
+            self._script.append(("read", f"{d}/{f}"))
+            self._script.append(("stat", f"{d}/{f}"))
+            self._script.append(("close", f"{d}/{f}"))
+            self._script.append(("create", f"{d}/thumb-{f}"))
+            self._script.append(("write", f"{d}/thumb-{f}"))
+            self._script.append(("close", f"{d}/thumb-{f}"))
+        self._pos = 0
+
+    def __len__(self) -> int:
+        return len(self._script)
+
+    def next_thunk(self) -> OpThunk:
+        op, path = self._script[self._pos % len(self._script)]
+        self._pos += 1
+        thunk = _make_thunk(op, path, self.data_latency_us)
+        thunk.op_name = op
+        return thunk
+
+
+def _make_thunk(op: str, path: str, data_latency_us: float) -> OpThunk:
+    if op in ("read", "write"):
+
+        def data_thunk(fs: LibFS) -> Generator:
+            yield fs.sim.timeout(data_latency_us)
+            return {"status": "ok", "data_op": op}
+
+        return data_thunk
+    if op == "create":
+        return lambda fs: safe_op(fs, fs.create(path), ("EEXIST",))
+    if op == "delete":
+        return lambda fs: safe_op(fs, fs.delete(path), ("ENOENT",))
+    return lambda fs: safe_op(fs, getattr(fs, op)(path), ("ENOENT",))

@@ -1,0 +1,37 @@
+"""Configuration presets."""
+
+from repro.bench import bench_scale, paper_scale
+from repro.bench.presets import (
+    PAPER_INFLIGHT,
+    PAPER_MULTI_DIRS,
+    PAPER_SINGLE_DIR_FILES,
+)
+from repro.switchfab import StaleSetConfig
+
+
+def test_bench_scale_defaults():
+    cfg = bench_scale()
+    assert cfg.num_servers == 8
+    assert cfg.cores_per_server == 4
+
+
+def test_paper_scale_matches_table4():
+    cfg = paper_scale()
+    assert cfg.num_servers == 16           # two per dual-socket node
+    assert cfg.stale_stages == 10          # ten pipeline stages
+    assert cfg.stale_index_bits == 17      # 131,072 registers each
+    geometry = StaleSetConfig(cfg.stale_stages, cfg.stale_index_bits)
+    assert geometry.capacity == 1_310_720  # the paper's stale-set capacity
+    assert cfg.num_clients == 3
+
+
+def test_paper_constants():
+    assert PAPER_INFLIGHT == 256
+    assert PAPER_SINGLE_DIR_FILES == 10_000_000
+    assert PAPER_MULTI_DIRS == 1024
+
+
+def test_overrides_pass_through():
+    cfg = paper_scale(recast=False)
+    assert not cfg.recast
+    assert cfg.stale_index_bits == 17

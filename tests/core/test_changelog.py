@@ -1,0 +1,158 @@
+"""Unit + property tests for change-logs and recast (§4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ChangeLogEntry, ChangeLogTable, ChangeOp
+from repro.core.changelog import ChangeLog
+
+
+def entry(ts, op=ChangeOp.CREATE, name="f"):
+    return ChangeLogEntry(timestamp=ts, op=op, name=name)
+
+
+class TestChangeLog:
+    def test_append_and_len(self):
+        log = ChangeLog(dir_id=1, fingerprint=10)
+        log.append(entry(1.0), lsn=0, now=1.0)
+        log.append(entry(2.0), lsn=1, now=2.0)
+        assert len(log) == 2
+        assert log.last_append_at == 2.0
+
+    def test_drain_empties(self):
+        log = ChangeLog(dir_id=1, fingerprint=10)
+        log.append(entry(1.0), lsn=5, now=1.0)
+        entries, lsns = log.drain()
+        assert len(entries) == 1 and lsns == [5]
+        assert len(log) == 0
+
+    def test_recast_consolidates_timestamp(self):
+        log = ChangeLog(dir_id=1, fingerprint=10)
+        log.append(entry(3.0, name="a"), lsn=0, now=3.0)
+        log.append(entry(1.0, ChangeOp.DELETE, name="b"), lsn=1, now=3.5)
+        log.append(entry(2.0, name="c"), lsn=2, now=4.0)
+        recast = log.recast()
+        assert recast.max_timestamp == 3.0
+        assert recast.entry_delta == 1  # +1 +1 -1
+        assert recast.num_ops == 3
+
+    def test_recast_empty(self):
+        log = ChangeLog(dir_id=1, fingerprint=10)
+        recast = log.recast()
+        assert recast.num_ops == 0 and recast.entry_delta == 0
+
+
+class TestChangeOp:
+    def test_entry_deltas(self):
+        assert ChangeOp.CREATE.entry_delta == 1
+        assert ChangeOp.MKDIR.entry_delta == 1
+        assert ChangeOp.DELETE.entry_delta == -1
+        assert ChangeOp.RMDIR.entry_delta == -1
+
+    def test_adds_entry(self):
+        assert ChangeOp.CREATE.adds_entry and ChangeOp.MKDIR.adds_entry
+        assert not ChangeOp.DELETE.adds_entry
+
+
+class TestChangeLogTable:
+    def test_group_indexing(self):
+        table = ChangeLogTable()
+        table.append(dir_id=1, fingerprint=99, entry=entry(1.0), lsn=0, now=1.0)
+        table.append(dir_id=2, fingerprint=99, entry=entry(2.0), lsn=1, now=2.0)
+        table.append(dir_id=3, fingerprint=55, entry=entry(3.0), lsn=2, now=3.0)
+        group = table.logs_in_group(99)
+        assert sorted(log.dir_id for log in group) == [1, 2]
+        assert table.pending_entries() == 3
+
+    def test_drain_group_only_touches_group(self):
+        table = ChangeLogTable()
+        table.append(1, 99, entry(1.0), 0, 1.0)
+        table.append(3, 55, entry(2.0), 1, 2.0)
+        drained = table.drain_group(99)
+        assert len(drained) == 1 and drained[0][0] == 1
+        assert table.pending_entries() == 1
+
+    def test_empty_logs_excluded_from_group(self):
+        table = ChangeLogTable()
+        log = table.log_for(1, 99)
+        assert table.logs_in_group(99) == []
+        assert table.non_empty_groups() == []
+
+    def test_drain_all(self):
+        table = ChangeLogTable()
+        table.append(1, 99, entry(1.0), 0, 1.0)
+        table.append(3, 55, entry(2.0), 1, 2.0)
+        drained = table.drain_all()
+        assert len(drained) == 2
+        assert table.pending_entries() == 0
+
+    def test_clear(self):
+        table = ChangeLogTable()
+        table.append(1, 99, entry(1.0), 0, 1.0)
+        table.clear()
+        assert table.pending_entries() == 0
+
+
+# -- property: recast application is equivalent to raw replay ----------------
+
+ops = st.sampled_from(list(ChangeOp))
+entry_strategy = st.builds(
+    ChangeLogEntry,
+    timestamp=st.floats(min_value=0, max_value=1e6),
+    op=ops,
+    name=st.text(alphabet="abcdef", min_size=1, max_size=4),
+    is_dir=st.booleans(),
+    perm=st.just(0o644),
+)
+
+
+def apply_raw(entries, initial_mtime=0.0):
+    """Reference semantics: replay entries in timestamp order."""
+    listing = {}
+    mtime = initial_mtime
+    for e in sorted(entries, key=lambda e: e.timestamp):
+        mtime = max(mtime, e.timestamp)
+        if e.op.adds_entry:
+            listing[e.name] = e.is_dir
+        else:
+            listing.pop(e.name, None)
+    return listing, mtime
+
+
+def apply_recast(entries, initial_mtime=0.0):
+    """Recast semantics: one consolidated mtime + op-queue application.
+
+    The op queue preserves append order (which is timestamp order per
+    origin log and commutative across logs for distinct names).
+    """
+    log = ChangeLog(dir_id=1, fingerprint=1)
+    for i, e in enumerate(sorted(entries, key=lambda e: e.timestamp)):
+        log.append(e, lsn=i, now=e.timestamp)
+    recast = log.recast()
+    listing = {}
+    for e in recast.ops:
+        if e.op.adds_entry:
+            listing[e.name] = e.is_dir
+        else:
+            listing.pop(e.name, None)
+    mtime = max(initial_mtime, recast.max_timestamp) if recast.ops else initial_mtime
+    return listing, mtime
+
+
+@settings(max_examples=300)
+@given(entries=st.lists(entry_strategy, max_size=30))
+def test_recast_equivalent_to_raw_replay(entries):
+    raw_listing, raw_mtime = apply_raw(entries)
+    recast_listing, recast_mtime = apply_recast(entries)
+    assert recast_listing == raw_listing
+    assert recast_mtime == raw_mtime
+
+
+@settings(max_examples=200)
+@given(entries=st.lists(entry_strategy, min_size=1, max_size=30))
+def test_recast_delta_matches_op_sum(entries):
+    log = ChangeLog(dir_id=1, fingerprint=1)
+    for i, e in enumerate(entries):
+        log.append(e, lsn=i, now=e.timestamp)
+    assert log.recast().entry_delta == sum(e.op.entry_delta for e in entries)

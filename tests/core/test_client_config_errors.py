@@ -1,0 +1,148 @@
+"""Unit tests: path handling, client cache, config validation, errors."""
+
+import pytest
+
+from repro.core import (
+    EEXIST,
+    EINVALIDPATH,
+    ENOENT,
+    FSConfig,
+    FSError,
+    PerfModel,
+    SwitchFSCluster,
+    fs_error,
+    split_path,
+)
+from repro.core.invalidation import InvalidationList
+
+
+class TestSplitPath:
+    def test_basic(self):
+        assert split_path("/a/b/c") == ("/a/b", "c")
+
+    def test_top_level(self):
+        assert split_path("/file") == ("/", "file")
+
+    def test_trailing_slash(self):
+        assert split_path("/a/b/") == ("/a", "b")
+
+    def test_root_rejected(self):
+        with pytest.raises(ValueError):
+            split_path("/")
+
+    def test_relative_rejected(self):
+        with pytest.raises(ValueError):
+            split_path("a/b")
+
+
+class TestErrors:
+    def test_wire_roundtrip(self):
+        err = FSError(EEXIST, "/a/b")
+        parsed = fs_error(err.wire_format())
+        assert parsed.code == EEXIST
+        assert parsed.detail == "/a/b"
+
+    def test_unknown_code_becomes_eio(self):
+        parsed = fs_error("rpc create to server-1 timed out")
+        assert parsed.code == "EIO"
+
+    def test_known_codes(self):
+        for code in (EEXIST, ENOENT, EINVALIDPATH):
+            assert fs_error(f"{code}: x").code == code
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = FSConfig()
+        assert cfg.num_servers >= 1
+        assert cfg.server_addr(0) == "server-0"
+
+    def test_invalid_servers(self):
+        with pytest.raises(ValueError):
+            FSConfig(num_servers=0)
+
+    def test_recast_requires_async(self):
+        with pytest.raises(ValueError):
+            FSConfig(async_updates=False, recast=True)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            FSConfig(stale_backend="fpga")
+
+    def test_server_addr_bounds(self):
+        cfg = FSConfig(num_servers=2)
+        with pytest.raises(ValueError):
+            cfg.server_addr(2)
+
+    def test_perf_scaled(self):
+        perf = PerfModel().scaled(3.0, extra_net_us=10.0)
+        assert perf.stack_multiplier == 3.0
+        assert perf.extra_net_us == 10.0
+        # scaled() composes.
+        perf2 = perf.scaled(2.0)
+        assert perf2.stack_multiplier == 6.0
+
+
+class TestInvalidationList:
+    def test_validate_empty(self):
+        inval = InvalidationList()
+        assert inval.validate([1, 2, 3])
+
+    def test_insert_and_reject(self):
+        inval = InvalidationList()
+        inval.insert(2)
+        assert not inval.validate([1, 2, 3])
+        assert inval.rejections == 1
+
+    def test_snapshot_restore(self):
+        a, b = InvalidationList(), InvalidationList()
+        a.insert(5)
+        b.restore(a.snapshot())
+        assert 5 in b
+        a.insert(6)  # snapshot is a copy
+        assert 6 not in b
+
+    def test_clear(self):
+        inval = InvalidationList()
+        inval.insert(1)
+        inval.clear()
+        assert len(inval) == 0
+
+
+class TestClientCache:
+    def make(self):
+        cluster = SwitchFSCluster(FSConfig(num_servers=3, cores_per_server=2, seed=8))
+        return cluster, cluster.client(0)
+
+    def test_cache_hit_after_first_resolution(self):
+        cluster, fs = self.make()
+        cluster.run_op(fs.mkdir("/d"))
+        cluster.run_op(fs.create("/d/f1"))  # resolves /d, caches it
+        misses_after_first = fs.counters.get("cache_misses")
+        cluster.run_op(fs.create("/d/f2"))
+        assert fs.counters.get("cache_misses") == misses_after_first
+
+    def test_invalidate_path_prunes_subtree(self):
+        cluster, fs = self.make()
+        cluster.run_op(fs.mkdir("/a"))
+        cluster.run_op(fs.mkdir("/a/b"))
+        cluster.run_op(fs.create("/a/b/f"))
+        assert "/a/b" in fs._cache
+        fs.invalidate_path("/a")
+        assert "/a" not in fs._cache
+        assert "/a/b" not in fs._cache
+
+    def test_lookup_missing_dir_enoent(self):
+        cluster, fs = self.make()
+        with pytest.raises(FSError) as err:
+            cluster.run_op(fs.statdir("/nope"))
+        assert err.value.code == ENOENT
+
+    def test_client_isolated_caches(self):
+        cluster, fs0 = self.make()
+        fs1 = cluster.client(1)
+        cluster.run_op(fs0.mkdir("/d"))
+        cluster.run_op(fs0.create("/d/f"))
+        assert "/d" not in fs1._cache  # separate cache per client
+        assert cluster.run_op(fs1.stat("/d/f"))["name"] == "f"
+        assert "/d" in fs1._cache

@@ -1,0 +1,170 @@
+"""Fault tolerance (§4.4): lossy networks, crashes, and switch failure."""
+
+import pytest
+
+from repro.core import FSConfig, FSError, SwitchFSCluster
+from repro.net import FaultModel
+from repro.sim import make_rng
+
+
+def lossy_cluster(loss=0.05, dup=0.02, reorder=0.05, seed=13, **cfg):
+    defaults = dict(num_servers=4, cores_per_server=2, seed=seed)
+    defaults.update(cfg)
+    faults = FaultModel(
+        make_rng(seed, "net"),
+        loss_prob=loss,
+        dup_prob=dup,
+        reorder_prob=reorder,
+        reorder_jitter_us=2.0,
+    )
+    return SwitchFSCluster(FSConfig(**defaults), faults=faults)
+
+
+class TestUnreliableNetwork:
+    def test_ops_complete_under_loss_dup_reorder(self):
+        cluster = lossy_cluster()
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        for i in range(30):
+            cluster.run_op(fs.create(f"/d/f{i}"))
+        listing = cluster.run_op(fs.readdir("/d"))
+        assert sorted(listing["entries"]) == sorted(f"f{i}" for i in range(30))
+
+    def test_no_duplicate_execution_under_duplication(self):
+        """Heavy duplication must not double-apply any update."""
+        cluster = lossy_cluster(loss=0.0, dup=0.5, reorder=0.3)
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        for i in range(20):
+            cluster.run_op(fs.create(f"/d/f{i}"))
+        cluster.run_op(fs.delete("/d/f0"))
+        info = cluster.run_op(fs.statdir("/d"))
+        assert info["entry_count"] == 19
+
+    def test_visibility_survives_lost_acks(self):
+        """Even when REMOVE/ack notifications are lost, reads stay correct
+        (a stale fingerprint only causes spurious aggregations)."""
+        cluster = lossy_cluster(loss=0.15, seed=99)
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        for i in range(15):
+            cluster.run_op(fs.create(f"/d/f{i}"))
+            if i % 5 == 4:
+                info = cluster.run_op(fs.statdir("/d"))
+                assert info["entry_count"] == i + 1
+
+    def test_retransmit_counters_nonzero_under_loss(self):
+        cluster = lossy_cluster(loss=0.25, seed=5)
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        for i in range(10):
+            cluster.run_op(fs.create(f"/d/f{i}"))
+        assert fs.node.retransmits > 0
+
+
+class TestServerCrashRecovery:
+    def test_acked_state_survives_crash(self):
+        cluster = SwitchFSCluster(
+            FSConfig(num_servers=4, cores_per_server=2, proactive_enabled=False)
+        )
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        for i in range(12):
+            cluster.run_op(fs.create(f"/d/f{i}"))
+        # Crash every server, recover all, then verify the namespace.
+        for idx in range(4):
+            cluster.crash_server(idx)
+        for idx in range(4):
+            cluster.recover_server(idx)
+        listing = cluster.run_op(fs.readdir("/d"))
+        assert sorted(listing["entries"]) == sorted(f"f{i}" for i in range(12))
+
+    def test_changelog_entries_rebuilt_from_wal(self):
+        cluster = SwitchFSCluster(
+            FSConfig(num_servers=4, cores_per_server=2, proactive_enabled=False)
+        )
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        for i in range(6):
+            cluster.run_op(fs.create(f"/d/f{i}"))
+        pending_before = cluster.total_pending_entries()
+        assert pending_before > 0
+        for idx in range(4):
+            cluster.crash_server(idx)
+        assert cluster.total_pending_entries() == 0  # DRAM lost
+        for idx in range(4):
+            cluster.recover_server(idx)
+        assert cluster.total_pending_entries() == pending_before
+
+    def test_recovery_time_scales_with_records(self):
+        def recovery_time(n_files):
+            cluster = SwitchFSCluster(
+                FSConfig(num_servers=2, cores_per_server=2, proactive_enabled=False)
+            )
+            fs = cluster.client(0)
+            cluster.run_op(fs.mkdir("/d"))
+            for i in range(n_files):
+                cluster.run_op(fs.create(f"/d/f{i}"))
+            cluster.crash_server(0)
+            return cluster.recover_server(0)
+
+        assert recovery_time(60) > recovery_time(10)
+
+    def test_single_server_crash_leaves_others_serving(self):
+        cluster = SwitchFSCluster(FSConfig(num_servers=4, cores_per_server=2))
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        cluster.run_op(fs.statdir("/d"))  # populate the client's cache
+        cluster.crash_server(2)
+        # Ops landing on live servers still work; ops to the dead server
+        # time out.  Find a file owned by a live server.
+        landed = 0
+        for i in range(12):
+            owner = cluster.cmap.file_owner(fs._cache["/d"].id, f"g{i}")
+            if owner != "server-2":
+                cluster.run_op(fs.create(f"/d/g{i}"))
+                landed += 1
+        assert landed > 0
+
+
+class TestSwitchFailure:
+    def test_switch_failure_flush_restores_consistency(self):
+        cluster = SwitchFSCluster(
+            FSConfig(num_servers=4, cores_per_server=2, proactive_enabled=False)
+        )
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        for i in range(10):
+            cluster.run_op(fs.create(f"/d/f{i}"))
+        assert cluster.total_pending_entries() > 0
+        duration = cluster.fail_switch()
+        assert duration > 0
+        assert cluster.total_pending_entries() == 0
+        assert cluster.switch.occupancy == 0
+        # After recovery, directories are in normal state and reads are
+        # correct without any stale-set hits.
+        info = cluster.run_op(fs.statdir("/d"))
+        assert info["entry_count"] == 10
+
+    def test_switch_failure_recovery_time_scales(self):
+        def drill(n_files):
+            cluster = SwitchFSCluster(
+                FSConfig(num_servers=4, cores_per_server=2, proactive_enabled=False)
+            )
+            fs = cluster.client(0)
+            cluster.run_op(fs.mkdir("/d"))
+            for i in range(n_files):
+                cluster.run_op(fs.create(f"/d/f{i}"))
+            return cluster.fail_switch()
+
+        assert drill(40) > drill(5)
+
+    def test_ops_after_switch_recovery(self):
+        cluster = SwitchFSCluster(FSConfig(num_servers=4, cores_per_server=2))
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        cluster.run_op(fs.create("/d/before"))
+        cluster.fail_switch()
+        cluster.run_op(fs.create("/d/after"))
+        listing = cluster.run_op(fs.readdir("/d"))
+        assert sorted(listing["entries"]) == ["after", "before"]

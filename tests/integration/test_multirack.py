@@ -1,0 +1,110 @@
+"""Multi-rack leaf-spine deployments (§5.4).
+
+The stale set moves from the ToR to the spine; with several spines,
+directories are range-partitioned over them by fingerprint.  Semantics
+must be identical to single-rack; the observable differences are longer
+paths (4 links) and stale-set state spread over the spines."""
+
+import pytest
+
+from repro.core import FSConfig, FSError, SwitchFSCluster, fingerprint_of, ROOT_ID
+
+
+def make(**overrides):
+    defaults = dict(
+        num_servers=4, cores_per_server=2, seed=14,
+        topology="leaf-spine", num_racks=2,
+    )
+    defaults.update(overrides)
+    return SwitchFSCluster(FSConfig(**defaults))
+
+
+class TestLeafSpineSemantics:
+    def test_full_op_surface(self):
+        cluster = make()
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        for i in range(8):
+            cluster.run_op(fs.create(f"/d/f{i}"))
+        cluster.run_op(fs.delete("/d/f0"))
+        listing = cluster.run_op(fs.readdir("/d"))
+        assert sorted(listing["entries"]) == sorted(f"f{i}" for i in range(1, 8))
+        assert cluster.run_op(fs.statdir("/d"))["entry_count"] == 7
+        cluster.run_op(fs.rename("/d/f1", "/d/g1"))
+        assert cluster.run_op(fs.stat("/d/g1"))["name"] == "g1"
+
+    def test_latency_pays_the_spine_detour(self):
+        def create_latency(topology):
+            cluster = make(topology=topology) if topology == "leaf-spine" else \
+                SwitchFSCluster(FSConfig(num_servers=4, cores_per_server=2, seed=14))
+            fs = cluster.client(0)
+            cluster.run_op(fs.mkdir("/d"))
+            t0 = cluster.sim.now
+            cluster.run_op(fs.create("/d/f"))
+            return cluster.sim.now - t0
+
+        single = create_latency("single-rack")
+        multi = create_latency("leaf-spine")
+        assert multi > single  # two extra links each way
+
+    def test_stale_set_at_spine(self):
+        cluster = make(proactive_enabled=False)
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        cluster.run_op(fs.create("/d/f"))
+        fp = fingerprint_of(ROOT_ID, "d")
+        assert cluster.switch.stale_set_for(fp).query(fp)
+
+    def test_switch_failure_recovery_multirack(self):
+        cluster = make(proactive_enabled=False)
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        for i in range(5):
+            cluster.run_op(fs.create(f"/d/f{i}"))
+        cluster.fail_switch()
+        assert cluster.total_pending_entries() == 0
+        assert cluster.run_op(fs.statdir("/d"))["entry_count"] == 5
+
+
+class TestMultipleSpines:
+    def test_fingerprints_partition_across_spines(self):
+        cluster = make(num_spine_switches=2, proactive_enabled=False)
+        fs = cluster.client(0)
+        # Create enough directories that both spines own some fingerprints.
+        for i in range(12):
+            cluster.run_op(fs.mkdir(f"/dir{i}"))
+            cluster.run_op(fs.create(f"/dir{i}/f"))
+        occupancies = [s.occupancy for s in cluster.spines]
+        assert all(o > 0 for o in occupancies), occupancies
+
+    def test_semantics_with_two_spines(self):
+        cluster = make(num_spine_switches=2)
+        fs = cluster.client(0)
+        for i in range(6):
+            cluster.run_op(fs.mkdir(f"/dir{i}"))
+            for j in range(3):
+                cluster.run_op(fs.create(f"/dir{i}/f{j}"))
+        for i in range(6):
+            listing = cluster.run_op(fs.readdir(f"/dir{i}"))
+            assert sorted(listing["entries"]) == ["f0", "f1", "f2"]
+
+    def test_failure_resets_every_spine(self):
+        cluster = make(num_spine_switches=2, proactive_enabled=False)
+        fs = cluster.client(0)
+        for i in range(8):
+            cluster.run_op(fs.mkdir(f"/dir{i}"))
+            cluster.run_op(fs.create(f"/dir{i}/f"))
+        cluster.fail_switch()
+        assert all(s.occupancy == 0 for s in cluster.spines)
+        for i in range(8):
+            assert cluster.run_op(fs.statdir(f"/dir{i}"))["entry_count"] == 1
+
+
+class TestConfigValidation:
+    def test_bad_topology_rejected(self):
+        with pytest.raises(ValueError):
+            FSConfig(topology="mesh")
+
+    def test_bad_rack_count_rejected(self):
+        with pytest.raises(ValueError):
+            FSConfig(topology="leaf-spine", num_racks=0)

@@ -1,0 +1,85 @@
+"""Stale set on a regular server instead of the switch (§6.5.2).
+
+The protocol must behave identically; the cost difference (one extra RTT
+per stale-set operation) is what Figure 16 measures."""
+
+import pytest
+
+from repro.core import FSConfig, FSError, SwitchFSCluster
+
+
+def make_cluster(backend: str, **overrides):
+    cfg = dict(num_servers=4, cores_per_server=2, seed=9, stale_backend=backend)
+    cfg.update(overrides)
+    return SwitchFSCluster(FSConfig(**cfg))
+
+
+class TestServerBackendSemantics:
+    def test_create_readdir_visibility(self):
+        cluster = make_cluster("server")
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        for i in range(8):
+            cluster.run_op(fs.create(f"/d/f{i}"))
+        listing = cluster.run_op(fs.readdir("/d"))
+        assert sorted(listing["entries"]) == sorted(f"f{i}" for i in range(8))
+
+    def test_delete_and_counts(self):
+        cluster = make_cluster("server")
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        for i in range(4):
+            cluster.run_op(fs.create(f"/d/f{i}"))
+        cluster.run_op(fs.delete("/d/f1"))
+        assert cluster.run_op(fs.statdir("/d"))["entry_count"] == 3
+
+    def test_rmdir(self):
+        cluster = make_cluster("server")
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        cluster.run_op(fs.rmdir("/d"))
+        with pytest.raises(FSError):
+            cluster.run_op(fs.statdir("/d"))
+
+    def test_overflow_fallback_on_server_backend(self):
+        cluster = make_cluster(
+            "server", stale_stages=1, stale_index_bits=1, proactive_enabled=False
+        )
+        fs = cluster.client(0)
+        for i in range(10):
+            cluster.run_op(fs.mkdir(f"/dir{i}"))
+            cluster.run_op(fs.create(f"/dir{i}/f"))
+        fallbacks = sum(s.counters.get("sync_fallbacks") for s in cluster.servers)
+        assert fallbacks > 0
+        for i in range(10):
+            assert cluster.run_op(fs.readdir(f"/dir{i}"))["entries"] == ["f"]
+
+
+class TestBackendCostDifference:
+    def _create_latency(self, backend):
+        cluster = make_cluster(backend, proactive_enabled=False)
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        t0 = cluster.sim.now
+        for i in range(10):
+            cluster.run_op(fs.create(f"/d/f{i}"))
+        return (cluster.sim.now - t0) / 10
+
+    def test_server_backend_adds_latency(self):
+        """The extra RTT to the stale-set server shows up in create latency
+        (Figure 16a: +24.1% in the paper)."""
+        switch = self._create_latency("switch")
+        server = self._create_latency("server")
+        assert server > switch
+        # The gap should be on the order of one RTT, not a multiple blowup.
+        assert server < switch * 2.5
+
+    def test_staleset_server_stats(self):
+        cluster = make_cluster("server", proactive_enabled=False)
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        cluster.run_op(fs.create("/d/f"))
+        cluster.run_op(fs.statdir("/d"))
+        ss = cluster.staleset_server.stale_set
+        assert ss.inserts >= 1
+        assert ss.queries >= 1

@@ -1,0 +1,76 @@
+"""Unit and property tests for packet and stale-set header codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import (
+    FINGERPRINT_BITS,
+    Packet,
+    REGULAR_PORT,
+    STALESET_PORT,
+    StaleSetHeader,
+    StaleSetOp,
+)
+
+
+class TestStaleSetHeader:
+    def test_pack_unpack_roundtrip(self):
+        h = StaleSetHeader(op=StaleSetOp.INSERT, fingerprint=0x1ABCD_1234_5678, seq=42, ret=1)
+        assert StaleSetHeader.unpack(h.pack()) == h
+
+    def test_packed_size(self):
+        h = StaleSetHeader(op=StaleSetOp.QUERY, fingerprint=1)
+        assert len(h.pack()) == 14  # 1 + 1 + 4 + 8 bytes
+
+    def test_fingerprint_range_enforced(self):
+        with pytest.raises(ValueError):
+            StaleSetHeader(op=StaleSetOp.QUERY, fingerprint=1 << FINGERPRINT_BITS)
+        with pytest.raises(ValueError):
+            StaleSetHeader(op=StaleSetOp.QUERY, fingerprint=-1)
+
+    def test_seq_range_enforced(self):
+        with pytest.raises(ValueError):
+            StaleSetHeader(op=StaleSetOp.REMOVE, fingerprint=1, seq=1 << 32)
+
+    def test_ret_binary(self):
+        with pytest.raises(ValueError):
+            StaleSetHeader(op=StaleSetOp.QUERY, fingerprint=1, ret=2)
+
+    def test_with_ret_copies(self):
+        h = StaleSetHeader(op=StaleSetOp.QUERY, fingerprint=7)
+        h2 = h.with_ret(1)
+        assert h.ret == 0 and h2.ret == 1
+        assert h2.fingerprint == 7
+
+    @given(
+        op=st.sampled_from(list(StaleSetOp)),
+        fingerprint=st.integers(min_value=0, max_value=(1 << FINGERPRINT_BITS) - 1),
+        seq=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        ret=st.integers(min_value=0, max_value=1),
+    )
+    def test_roundtrip_property(self, op, fingerprint, seq, ret):
+        h = StaleSetHeader(op=op, fingerprint=fingerprint, seq=seq, ret=ret)
+        assert StaleSetHeader.unpack(h.pack()) == h
+
+
+class TestPacket:
+    def test_staleset_port_requires_header(self):
+        with pytest.raises(ValueError):
+            Packet(src="a", dst="b", payload=None, port=STALESET_PORT)
+
+    def test_regular_port_forbids_header(self):
+        h = StaleSetHeader(op=StaleSetOp.QUERY, fingerprint=1)
+        with pytest.raises(ValueError):
+            Packet(src="a", dst="b", payload=None, port=REGULAR_PORT, header=h)
+
+    def test_clone_gets_fresh_uid(self):
+        p = Packet(src="a", dst="b", payload="x")
+        q = p.clone()
+        assert q.uid != p.uid
+        assert (q.src, q.dst, q.payload) == ("a", "b", "x")
+
+    def test_clone_overrides(self):
+        p = Packet(src="a", dst="b", payload="x")
+        q = p.clone(dst="c")
+        assert q.dst == "c" and p.dst == "b"

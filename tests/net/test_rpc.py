@@ -1,0 +1,237 @@
+"""Unit tests for the RPC layer: calls, retries, at-most-once, notify."""
+
+import pytest
+
+from repro.net import (
+    FaultModel,
+    Network,
+    PassthroughSwitch,
+    Reply,
+    RpcError,
+    RpcNode,
+    RpcTimeout,
+    single_rack_path,
+)
+from repro.sim import Simulator, make_rng
+
+
+def setup_pair(loss_prob=0.0, seed=1):
+    sim = Simulator()
+    faults = (
+        FaultModel(make_rng(seed, "loss"), loss_prob=loss_prob)
+        if loss_prob
+        else FaultModel.reliable()
+    )
+    net = Network(sim, single_rack_path([PassthroughSwitch()]), faults=faults)
+    client = RpcNode(sim, net, "client")
+    server = RpcNode(sim, net, "server")
+    return sim, net, client, server
+
+
+def run_call(sim, client, *args, **kwargs):
+    proc = sim.spawn(client.call(*args, **kwargs), name="call")
+    return sim.run_process(proc)
+
+
+class TestBasicRpc:
+    def test_echo(self):
+        sim, net, client, server = setup_pair()
+
+        def echo(request, packet):
+            yield sim.timeout(1.0)
+            return request.args
+
+        server.register("echo", echo)
+        value, pkt = run_call(sim, client, "server", "echo", {"x": 1})
+        assert value == {"x": 1}
+        assert pkt.src == "server"
+
+    def test_handler_error_propagates(self):
+        sim, net, client, server = setup_pair()
+
+        def boom(request, packet):
+            yield sim.timeout(0.1)
+            raise RpcError("denied")
+
+        server.register("boom", boom)
+        proc = sim.spawn(client.call("server", "boom", None), name="call")
+        with pytest.raises(RpcError, match="denied"):
+            sim.run_process(proc)
+
+    def test_unknown_method_is_error(self):
+        sim, net, client, server = setup_pair()
+        proc = sim.spawn(client.call("server", "nope", None), name="call")
+        with pytest.raises(RpcError, match="no handler"):
+            sim.run_process(proc)
+
+    def test_reply_object_controls_value(self):
+        sim, net, client, server = setup_pair()
+
+        def handler(request, packet):
+            yield sim.timeout(0.1)
+            return Reply(value="custom")
+
+        server.register("h", handler)
+        value, _ = run_call(sim, client, "server", "h", None)
+        assert value == "custom"
+
+
+class TestRetransmission:
+    def test_retry_succeeds_under_loss(self):
+        # 40% loss: with 10 attempts the call should eventually land.
+        sim, net, client, server = setup_pair(loss_prob=0.4, seed=7)
+        calls = []
+
+        def handler(request, packet):
+            calls.append(request.rpc_id)
+            yield sim.timeout(0.5)
+            return "ok"
+
+        server.register("h", handler)
+        value, _ = run_call(
+            sim, client, "server", "h", None, timeout_us=20.0, max_attempts=10
+        )
+        assert value == "ok"
+        assert client.retransmits >= 1
+
+    def test_at_most_once_execution(self):
+        """Duplicated requests must not re-execute the handler."""
+        sim, net, client, server = setup_pair()
+        executions = []
+
+        def handler(request, packet):
+            executions.append(request.attempt)
+            yield sim.timeout(50.0)  # slower than the client's timeout
+            return "done"
+
+        server.register("h", handler)
+        value, _ = run_call(
+            sim, client, "server", "h", None, timeout_us=10.0, max_attempts=8
+        )
+        assert value == "done"
+        assert len(executions) == 1  # retries hit the reply cache / in-progress marker
+
+    def test_duplicate_after_completion_resends_cached_reply(self):
+        sim, net, client, server = setup_pair()
+        executions = []
+
+        def handler(request, packet):
+            executions.append(1)
+            yield sim.timeout(1.0)
+            return "v"
+
+        server.register("h", handler)
+        run_call(sim, client, "server", "h", None)
+        # Manually re-deliver a duplicate of the same request id.
+        from repro.net import Packet, RpcRequest
+
+        dup = RpcRequest(rpc_id=1, method="h", args=None, src="client", attempt=1)
+        # Find the actual rpc_id used: executions==1 so grab from cache.
+        key = next(iter(server._reply_cache))
+        dup.rpc_id = key[1]
+        net.send(Packet(src="client", dst="server", payload=dup))
+        sim.run()
+        assert len(executions) == 1
+
+    def test_timeout_after_all_attempts(self):
+        sim, net, client, server = setup_pair(loss_prob=1.0)
+
+        def handler(request, packet):
+            yield sim.timeout(0.1)
+            return "never"
+
+        server.register("h", handler)
+        proc = sim.spawn(
+            client.call("server", "h", None, timeout_us=5.0, max_attempts=3), name="c"
+        )
+        with pytest.raises(RpcTimeout):
+            sim.run_process(proc)
+
+
+class TestNotify:
+    def test_notify_executes_without_reply(self):
+        sim, net, client, server = setup_pair()
+        seen = []
+
+        def handler(request, packet):
+            yield sim.timeout(0.1)
+            seen.append(request.args)
+
+        server.register("note", handler)
+        client.notify("server", "note", "payload")
+        sim.run()
+        assert seen == ["payload"]
+        # No response packet should have been sent back.
+        assert len(client._pending) == 0
+
+
+class TestMulticast:
+    def test_multicast_gathers_all(self):
+        sim = Simulator()
+        net = Network(sim, single_rack_path([PassthroughSwitch()]))
+        client = RpcNode(sim, net, "client")
+        servers = [RpcNode(sim, net, f"s{i}") for i in range(3)]
+
+        def make_handler(i):
+            def handler(request, packet):
+                yield sim.timeout(float(i))
+                return f"from-s{i}"
+
+            return handler
+
+        for i, s in enumerate(servers):
+            s.register("m", make_handler(i))
+        proc = sim.spawn(
+            client.multicast_call([f"s{i}" for i in range(3)], "m", None), name="mc"
+        )
+        values = sim.run_process(proc)
+        assert values == ["from-s0", "from-s1", "from-s2"]
+
+
+class TestCrash:
+    def test_dead_node_ignores_traffic(self):
+        sim, net, client, server = setup_pair()
+
+        def handler(request, packet):
+            yield sim.timeout(0.1)
+            return "alive"
+
+        server.register("h", handler)
+        server.kill()
+        proc = sim.spawn(
+            client.call("server", "h", None, timeout_us=5.0, max_attempts=2), name="c"
+        )
+        with pytest.raises(RpcTimeout):
+            sim.run_process(proc)
+
+    def test_revived_node_serves_again(self):
+        sim, net, client, server = setup_pair()
+
+        def handler(request, packet):
+            yield sim.timeout(0.1)
+            return "alive"
+
+        server.register("h", handler)
+        server.kill()
+        server.revive()
+        value, _ = run_call(sim, client, "server", "h", None)
+        assert value == "alive"
+
+
+class TestRawTap:
+    def test_tap_consumes_packet(self):
+        sim, net, client, server = setup_pair()
+        tapped = []
+
+        def tap(packet):
+            if packet.payload == "raw":
+                tapped.append(packet)
+                return True
+            return False
+
+        server.add_raw_tap(tap)
+        from repro.net import Packet
+
+        net.send(Packet(src="client", dst="server", payload="raw"))
+        sim.run()
+        assert len(tapped) == 1

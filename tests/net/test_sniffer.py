@@ -1,0 +1,87 @@
+"""Packet sniffer tests: capture, filters, and protocol-cost probes."""
+
+import pytest
+
+from repro.core import FSConfig, SwitchFSCluster
+from repro.net.sniffer import Sniffer
+
+
+def make():
+    cluster = SwitchFSCluster(
+        FSConfig(num_servers=3, cores_per_server=2, seed=44, proactive_enabled=False)
+    )
+    fs = cluster.client(0)
+    return cluster, fs
+
+
+class TestCapture:
+    def test_records_requests_and_responses(self):
+        cluster, fs = make()
+        sniffer = Sniffer.attach(cluster.net)
+        cluster.run_op(fs.mkdir("/d"))
+        assert sniffer.count(kind="request", method="mkdir") == 1
+        assert sniffer.count(kind="response") >= 1
+        sniffer.detach()
+
+    def test_detach_stops_capture(self):
+        cluster, fs = make()
+        sniffer = Sniffer.attach(cluster.net)
+        cluster.run_op(fs.mkdir("/d"))
+        n = len(sniffer.packets)
+        sniffer.detach()
+        cluster.run_op(fs.create("/d/f"))
+        assert len(sniffer.packets) == n
+
+    def test_staleset_headers_visible(self):
+        cluster, fs = make()
+        sniffer = Sniffer.attach(cluster.net)
+        cluster.run_op(fs.mkdir("/d"))
+        cluster.run_op(fs.create("/d/f"))
+        # The create's response left the server carrying an INSERT.
+        inserts = sniffer.filter(staleset_op="INSERT")
+        assert len(inserts) >= 1
+        cluster.run_op(fs.statdir("/d"))
+        assert sniffer.count(staleset_op="QUERY") >= 1
+        cluster.run(until=cluster.sim.now + 2_000)
+        assert sniffer.count(staleset_op="REMOVE") >= 1
+        sniffer.detach()
+
+    def test_filters_compose(self):
+        cluster, fs = make()
+        sniffer = Sniffer.attach(cluster.net)
+        cluster.run_op(fs.mkdir("/d"))
+        from_client = sniffer.filter(src="client-0", kind="request")
+        assert all(p.src == "client-0" for p in from_client)
+        sniffer.detach()
+
+    def test_clear(self):
+        cluster, fs = make()
+        sniffer = Sniffer.attach(cluster.net)
+        cluster.run_op(fs.mkdir("/d"))
+        sniffer.clear()
+        assert sniffer.packets == []
+        sniffer.detach()
+
+
+class TestProtocolCost:
+    def test_create_is_a_handful_of_messages(self):
+        """One-RTT protocol: a create costs the request, the multicast
+        response pair, and nothing else on the critical path."""
+        cluster, fs = make()
+        cluster.run_op(fs.mkdir("/d"))
+        cluster.run_op(fs.create("/d/warm"))  # warm the resolution cache
+        sniffer = Sniffer.attach(cluster.net)
+        for i in range(10):
+            cluster.run_op(fs.create(f"/d/f{i}"))
+        per_op = sniffer.messages_per_op("create")
+        # request + response (multicast happens inside the switch, not as
+        # separate sends) = 2 messages per create.
+        assert per_op <= 3.0
+        sniffer.detach()
+
+    def test_messages_per_op_needs_samples(self):
+        cluster, fs = make()
+        sniffer = Sniffer.attach(cluster.net)
+        with pytest.raises(ValueError):
+            sniffer.messages_per_op("create")
+        sniffer.detach()

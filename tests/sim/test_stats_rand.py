@@ -1,0 +1,174 @@
+"""Unit and property tests for stats helpers and seeded randomness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    Counter,
+    LatencyRecorder,
+    ThroughputMeter,
+    ZipfGenerator,
+    make_rng,
+    percentile,
+    weighted_choice,
+)
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_median_of_two(self):
+        assert percentile([1.0, 3.0], 50) == 2.0
+
+    def test_extremes(self):
+        xs = [5.0, 1.0, 3.0]
+        assert percentile(xs, 0) == 1.0
+        assert percentile(xs, 100) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200),
+           st.floats(min_value=0, max_value=100))
+    def test_bounded_by_min_max(self, xs, q):
+        p = percentile(xs, q)
+        assert min(xs) <= p <= max(xs)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=100))
+    def test_monotone_in_q(self, xs):
+        assert percentile(xs, 10) <= percentile(xs, 50) <= percentile(xs, 99)
+
+
+class TestLatencyRecorder:
+    def test_mean_and_percentile(self):
+        rec = LatencyRecorder()
+        for v in [1.0, 2.0, 3.0]:
+            rec.record(v, op="create")
+        assert rec.mean("create") == 2.0
+        assert rec.p(100, "create") == 3.0
+        assert rec.count("create") == 3
+
+    def test_negative_rejected(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ValueError):
+            rec.record(-1.0)
+
+    def test_missing_op_raises(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ValueError):
+            rec.mean("nope")
+
+    def test_merge(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        a.record(1.0, "x")
+        b.record(3.0, "x")
+        a.merge(b)
+        assert a.mean("x") == 2.0
+
+
+class TestThroughputMeter:
+    def test_ops_per_sec(self):
+        m = ThroughputMeter()
+        m.start(0.0)
+        for _ in range(50):
+            m.record()
+        m.stop(1_000_000.0)  # one virtual second
+        assert m.ops_per_sec() == 50.0
+
+    def test_records_outside_window_ignored(self):
+        m = ThroughputMeter()
+        m.record()  # before start: ignored
+        m.start(0.0)
+        m.record()
+        m.stop(1e6)
+        m.record()  # after stop: ignored
+        assert m.count == 1
+
+    def test_unclosed_window_rejected(self):
+        m = ThroughputMeter()
+        m.start(0.0)
+        with pytest.raises(ValueError):
+            m.ops_per_sec()
+
+
+def test_counter():
+    c = Counter()
+    c.inc("hit")
+    c.inc("hit", 2)
+    assert c.get("hit") == 3
+    assert c.get("miss") == 0
+    assert c.as_dict() == {"hit": 3}
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(7, "w")
+        b = make_rng(7, "w")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_decorrelated(self):
+        a = make_rng(7, "w")
+        b = make_rng(7, "net")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+class TestZipf:
+    def test_uniform_when_theta_zero(self):
+        z = ZipfGenerator(10, 0.0, make_rng(1, "z"))
+        counts = [0] * 10
+        for _ in range(20_000):
+            counts[z.sample()] += 1
+        # Each bucket should be near 2000.
+        assert all(1600 < c < 2400 for c in counts)
+
+    def test_skew_concentrates_on_low_ranks(self):
+        z = ZipfGenerator(1000, 0.99, make_rng(1, "z"))
+        samples = [z.sample() for _ in range(20_000)]
+        hot = sum(1 for s in samples if s < 100)
+        # With theta=0.99 the top-10% of ranks take well over half the mass.
+        assert hot / len(samples) > 0.6
+
+    def test_bounds(self):
+        z = ZipfGenerator(5, 1.2, make_rng(3, "z"))
+        for _ in range(1000):
+            assert 0 <= z.sample() < 5
+
+    def test_invalid_params(self):
+        rng = make_rng(0, "z")
+        with pytest.raises(ValueError):
+            ZipfGenerator(0, 1.0, rng)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, -1.0, rng)
+
+    @settings(max_examples=20)
+    @given(n=st.integers(min_value=1, max_value=500),
+           theta=st.floats(min_value=0, max_value=2))
+    def test_always_in_range(self, n, theta):
+        z = ZipfGenerator(n, theta, make_rng(42, "prop"))
+        for _ in range(50):
+            assert 0 <= z.sample() < n
+
+
+class TestWeightedChoice:
+    def test_deterministic_single(self):
+        assert weighted_choice(["a"], [1.0], make_rng(0, "wc")) == "a"
+
+    def test_zero_weight_never_chosen(self):
+        rng = make_rng(5, "wc")
+        picks = {weighted_choice(["a", "b"], [0.0, 1.0], rng) for _ in range(200)}
+        assert picks == {"b"}
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_choice(["a"], [1.0, 2.0], make_rng(0, "wc"))
+
+    def test_nonpositive_total(self):
+        with pytest.raises(ValueError):
+            weighted_choice(["a"], [0.0], make_rng(0, "wc"))

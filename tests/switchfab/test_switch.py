@@ -1,0 +1,173 @@
+"""Unit tests for the programmable switch device and its control plane."""
+
+import pytest
+
+from repro.net import (
+    Packet,
+    REGULAR_PORT,
+    STALESET_PORT,
+    StaleSetHeader,
+    StaleSetOp,
+)
+from repro.switchfab import (
+    ProgrammableSwitch,
+    StaleSetConfig,
+    SwitchControlPlane,
+)
+
+
+def make_switch(**kwargs):
+    kwargs.setdefault("stale_config", StaleSetConfig(num_stages=2, index_bits=3))
+    kwargs.setdefault("fingerprint_owner", lambda fp: "owner-server")
+    return ProgrammableSwitch(**kwargs)
+
+
+def hdr(op, fp=0x1_0000_0001, seq=0):
+    return StaleSetHeader(op=op, fingerprint=fp, seq=seq)
+
+
+def pkt(header, src="server-0", dst="client-0"):
+    return Packet(src=src, dst=dst, payload="p", port=STALESET_PORT, header=header)
+
+
+class TestForwarding:
+    def test_regular_packets_untouched(self):
+        sw = make_switch()
+        p = Packet(src="a", dst="b", payload="x", port=REGULAR_PORT)
+        out = sw.process(p)
+        assert out == [p]
+
+    def test_none_op_forwards(self):
+        sw = make_switch()
+        out = sw.process(pkt(hdr(StaleSetOp.NONE)))
+        assert len(out) == 1 and out[0].dst == "client-0"
+
+
+class TestQuery:
+    def test_query_miss_ret_zero(self):
+        sw = make_switch()
+        out = sw.process(pkt(hdr(StaleSetOp.QUERY)))
+        assert len(out) == 1
+        assert out[0].header.ret == 0
+
+    def test_query_hit_ret_one(self):
+        sw = make_switch()
+        sw.process(pkt(hdr(StaleSetOp.INSERT)))
+        out = sw.process(pkt(hdr(StaleSetOp.QUERY)))
+        assert out[0].header.ret == 1
+
+
+class TestInsert:
+    def test_insert_multicasts_to_client_and_server(self):
+        sw = make_switch()
+        out = sw.process(pkt(hdr(StaleSetOp.INSERT), src="server-3", dst="client-7"))
+        assert len(out) == 2
+        dsts = sorted(p.dst for p in out)
+        assert dsts == ["client-7", "server-3"]
+        assert all(p.header.ret == 1 for p in out)
+
+    def test_insert_overflow_redirects_to_owner(self):
+        # One stage, index_bits=1: each set has exactly one way.
+        sw = ProgrammableSwitch(
+            stale_config=StaleSetConfig(num_stages=1, index_bits=1),
+            fingerprint_owner=lambda fp: "fallback-server",
+        )
+        a = hdr(StaleSetOp.INSERT, fp=0x0_0000_0001)
+        b = hdr(StaleSetOp.INSERT, fp=0x0_0000_0002)  # same set index, new tag
+        assert len(sw.process(pkt(a))) == 2
+        out = sw.process(pkt(b, dst="client-9"))
+        assert len(out) == 1
+        assert out[0].dst == "fallback-server"
+        assert out[0].header.ret == 0
+        assert sw.redirects == 1
+
+    def test_overflow_without_route_is_an_error(self):
+        sw = ProgrammableSwitch(
+            stale_config=StaleSetConfig(num_stages=1, index_bits=1),
+            fingerprint_owner=None,
+        )
+        sw.process(pkt(hdr(StaleSetOp.INSERT, fp=0x0_0000_0001)))
+        with pytest.raises(RuntimeError, match="no fingerprint"):
+            sw.process(pkt(hdr(StaleSetOp.INSERT, fp=0x0_0000_0002)))
+
+
+class TestRemove:
+    def test_remove_clears_and_forwards(self):
+        sw = make_switch()
+        sw.process(pkt(hdr(StaleSetOp.INSERT)))
+        out = sw.process(pkt(hdr(StaleSetOp.REMOVE, seq=1), src="server-0"))
+        assert len(out) == 1
+        assert sw.process(pkt(hdr(StaleSetOp.QUERY)))[0].header.ret == 0
+
+    def test_duplicate_remove_filtered_by_seq(self):
+        sw = make_switch()
+        sw.process(pkt(hdr(StaleSetOp.INSERT)))
+        sw.process(pkt(hdr(StaleSetOp.REMOVE, seq=5), src="server-0"))
+        sw.process(pkt(hdr(StaleSetOp.INSERT)))
+        # Retransmitted remove with the same seq must not clear the new entry.
+        sw.process(pkt(hdr(StaleSetOp.REMOVE, seq=5), src="server-0"))
+        assert sw.process(pkt(hdr(StaleSetOp.QUERY)))[0].header.ret == 1
+
+
+class TestPipes:
+    def test_fingerprints_partition_across_pipes(self):
+        sw = ProgrammableSwitch(
+            stale_config=StaleSetConfig(num_stages=2, index_bits=3),
+            num_pipes=2,
+            fingerprint_owner=lambda fp: "o",
+            pipe_of_host=lambda host: 0,
+        )
+        low = 0x0000_0000_0001  # top bit 0 -> pipe 0
+        high = (1 << 48) | 0x1  # top bit 1 -> pipe 1
+        sw.process(pkt(hdr(StaleSetOp.INSERT, fp=low)))
+        sw.process(pkt(hdr(StaleSetOp.INSERT, fp=high)))
+        assert sw.pipe(0).occupancy == 1
+        assert sw.pipe(1).occupancy == 1
+
+    def test_cross_pipe_packets_are_mirrored(self):
+        sw = ProgrammableSwitch(
+            stale_config=StaleSetConfig(num_stages=2, index_bits=3),
+            num_pipes=2,
+            fingerprint_owner=lambda fp: "o",
+            pipe_of_host=lambda host: 0,  # every host hangs off pipe 0
+        )
+        high = (1 << 48) | 0x1  # fingerprint owned by pipe 1
+        sw.process(pkt(hdr(StaleSetOp.QUERY, fp=high)))
+        assert sw.mirrored == 1
+
+    def test_non_power_of_two_pipes_rejected(self):
+        with pytest.raises(ValueError):
+            ProgrammableSwitch(num_pipes=3)
+
+
+class TestControlPlane:
+    def test_stats_aggregate(self):
+        sw = make_switch()
+        cp = SwitchControlPlane(sw)
+        sw.process(pkt(hdr(StaleSetOp.INSERT)))
+        sw.process(pkt(hdr(StaleSetOp.QUERY)))
+        stats = cp.stats()
+        assert stats.inserts == 1
+        assert stats.queries == 1
+        assert stats.occupancy == 1
+        assert 0 < stats.load_factor < 1
+
+    def test_failure_resets_and_notifies(self):
+        sw = make_switch()
+        cp = SwitchControlPlane(sw)
+        flushed = []
+        cp.on_failure(lambda: flushed.append(True))
+        sw.process(pkt(hdr(StaleSetOp.INSERT)))
+        cp.fail()
+        assert flushed == [True]
+        assert sw.occupancy == 0
+
+    def test_install_routes(self):
+        sw = ProgrammableSwitch(
+            stale_config=StaleSetConfig(num_stages=1, index_bits=1),
+        )
+        cp = SwitchControlPlane(sw)
+        cp.install_routes(lambda fp: "routed-owner")
+        sw.process(pkt(hdr(StaleSetOp.INSERT, fp=0x0_0000_0001)))
+        out = sw.process(pkt(hdr(StaleSetOp.INSERT, fp=0x0_0000_0002)))
+        assert out[0].dst == "routed-owner"

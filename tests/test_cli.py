@@ -1,0 +1,80 @@
+"""CLI smoke tests (fast configurations)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, argv):
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+class TestInfo:
+    def test_lists_systems_and_defaults(self, capsys):
+        code, out = run_cli(capsys, ["info"])
+        assert code == 0
+        for name in ("SwitchFS", "InfiniFS", "CFS-KV", "IndexFS", "Ceph"):
+            assert name in out
+        assert "dcs" in out
+        assert "proactive push threshold" in out
+
+
+class TestThroughput:
+    def test_create_hotspot(self, capsys):
+        code, out = run_cli(capsys, [
+            "throughput", "--op", "create", "--dirs", "1",
+            "--servers", "2", "--cores", "2", "--ops", "200", "--inflight", "8",
+        ])
+        assert code == 0
+        assert "Kops/s" in out
+        assert "p99 latency" in out
+
+    def test_statdir_multi_dir(self, capsys):
+        code, out = run_cli(capsys, [
+            "throughput", "--op", "statdir", "--dirs", "8",
+            "--servers", "2", "--cores", "2", "--ops", "100", "--inflight", "4",
+        ])
+        assert code == 0
+
+
+class TestCompare:
+    def test_two_systems(self, capsys):
+        code, out = run_cli(capsys, [
+            "compare", "--op", "create", "--dirs", "1",
+            "--systems", "SwitchFS,InfiniFS",
+            "--servers", "2", "--cores", "2", "--ops", "300", "--inflight", "8",
+        ])
+        assert code == 0
+        assert "SwitchFS" in out and "InfiniFS" in out
+
+
+class TestWorkload:
+    def test_dcs_mix(self, capsys):
+        code, out = run_cli(capsys, [
+            "workload", "--mix", "dcs", "--no-data",
+            "--servers", "2", "--cores", "2", "--ops", "200",
+            "--inflight", "8", "--dirs", "8",
+        ])
+        assert code == 0
+        assert "end-to-end throughput" in out
+
+
+class TestFaults:
+    def test_drill_correct_under_faults(self, capsys):
+        code, out = run_cli(capsys, [
+            "faults", "--ops", "30", "--loss", "0.1", "--dup", "0.05",
+            "--servers", "2", "--cores", "2",
+        ])
+        assert code == 0
+        assert "correct" in out and "yes" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["throughput", "--system", "ZFS"])

@@ -1,0 +1,73 @@
+"""Workload op mixes must match the paper's published ratios."""
+
+import pytest
+
+from repro.workloads import (
+    CNN_TRAINING_MIX,
+    DATA_CENTER_SERVICES_MIX,
+    OpMix,
+    PANGU_METADATA_MIX,
+    THUMBNAIL_MIX,
+)
+
+ALL_MIXES = [
+    PANGU_METADATA_MIX,
+    DATA_CENTER_SERVICES_MIX,
+    CNN_TRAINING_MIX,
+    THUMBNAIL_MIX,
+]
+
+
+@pytest.mark.parametrize("mix", ALL_MIXES, ids=lambda m: m.name)
+def test_mix_normalised(mix):
+    assert 0.99 <= sum(mix.probs) <= 1.01
+    assert all(w >= 0 for w in mix.probs)
+
+
+def test_invalid_mix_rejected():
+    with pytest.raises(ValueError):
+        OpMix(name="bad", weights=(("create", 0.5),))
+
+
+class TestPanguTable1:
+    """Table 1: 30.76% directory updates, 4.19% directory reads."""
+
+    def test_directory_update_ratio(self):
+        d = PANGU_METADATA_MIX.as_dict()
+        updates = d["create"] + d["delete"] + d["mkdir"] + d["rmdir"] + d["rename"]
+        assert abs(updates - 0.3076) < 0.002
+
+    def test_directory_read_ratio(self):
+        d = PANGU_METADATA_MIX.as_dict()
+        reads = d["statdir"] + d["readdir"]
+        assert abs(reads - 0.0419) < 0.001
+
+    def test_pigeonhole_bound(self):
+        """The paper's motivating arithmetic: >86% of directory updates are
+        not immediately followed by a read of that directory."""
+        d = PANGU_METADATA_MIX.as_dict()
+        updates = d["create"] + d["delete"] + d["mkdir"] + d["rmdir"] + d["rename"]
+        reads = d["statdir"] + d["readdir"]
+        assert (updates - reads) / updates > 0.86
+
+    def test_readdir_dominates_reads(self):
+        d = PANGU_METADATA_MIX.as_dict()
+        assert d["readdir"] / (d["readdir"] + d["statdir"]) > 0.9
+
+
+class TestTable5:
+    def test_dcs_open_close_share(self):
+        d = DATA_CENTER_SERVICES_MIX.as_dict()
+        assert abs(d["open"] + d["close"] - 0.526) < 0.001
+
+    def test_dcs_rename_share(self):
+        assert abs(DATA_CENTER_SERVICES_MIX.as_dict()["rename"] - 0.093) < 0.001
+
+    def test_cnn_metadata_intensive(self):
+        """>80% of ops are metadata ops (not read/write) per §6.6."""
+        d = CNN_TRAINING_MIX.as_dict()
+        data = d.get("read", 0) + d.get("write", 0)
+        assert 1 - data > 0.75
+
+    def test_thumbnail_create_share(self):
+        assert abs(THUMBNAIL_MIX.as_dict()["create"] - 0.109) < 0.001
