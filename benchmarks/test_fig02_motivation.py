@@ -9,10 +9,8 @@
 (d) `create` throughput vs. cores/server: both flat (lock serialisation).
 """
 
-import pytest
-
-from repro.bench import Series, format_table, make_cluster, run_stream, scaled_config
-from repro.workloads import FixedOpStream, bootstrap, single_large_directory
+from repro.bench import Series, format_table
+from repro.workloads import single_large_directory
 
 from _util import measure_fixed_op, one_shot, save_table
 
@@ -54,15 +52,18 @@ def test_fig2b_create_latency_breakdown(benchmark):
         rows = []
         for system in ("InfiniFS", "CFS-KV"):
             result = _point(system, "create", num_servers=4, inflight=1)
-            config = scaled_config(num_servers=4)
-            rtt = 4 * config.perf.link_latency_us  # client<->server round trip
-            # Network share: measured messages on the critical path.
-            hops = 1 if system == "InfiniFS" else 3  # +2 txn RPCs cross-server
-            network = hops * rtt
-            storage = config.perf.kv_put_us + config.perf.wal_append_us + config.perf.kv_get_us
-            software = max(result.mean_latency_us - network - storage, 0.0)
-            rows.append([system, round(result.mean_latency_us, 2), round(network, 2),
-                         round(storage, 2), round(software, 2)])
+            total = result.mean_latency_us
+            # Measured per-op phase means from the server runtime's hooks:
+            # `net` is server-to-server RPC wait (the cross-server txn for
+            # CFS-KV), `cpu`+`queue` are execution, `lock` is inode-lock
+            # wait; the remainder is the client<->server network + client
+            # processing.
+            network = result.phase_mean_us("net")
+            cpu = result.phase_mean_us("cpu") + result.phase_mean_us("queue")
+            lock = result.phase_mean_us("lock")
+            other = max(total - network - cpu - lock, 0.0)
+            rows.append([system, round(total, 2), round(network, 2),
+                         round(cpu, 2), round(lock, 2), round(other, 2)])
         return rows
 
     rows = one_shot(benchmark, run)
@@ -70,7 +71,7 @@ def test_fig2b_create_latency_breakdown(benchmark):
         "fig02b_create_latency_breakdown",
         format_table(
             "Fig 2(b): create latency breakdown (shared directory, 4 servers)",
-            ["system", "total us", "network us", "storage us", "software us"],
+            ["system", "total us", "srv-srv net us", "cpu us", "lock us", "client/net us"],
             rows,
         ),
     )

@@ -9,8 +9,6 @@ creates into a single directory on eight servers:
   throughput scales with cores, tail latency collapses.
 """
 
-import pytest
-
 from repro.bench import Series, format_table, run_stream
 from repro.core import FSConfig, SwitchFSCluster
 from repro.workloads import FixedOpStream, bootstrap, single_large_directory
@@ -68,7 +66,10 @@ def test_fig15_latency(benchmark):
             rows.append(
                 [variant, round(result.mean_latency_us, 1),
                  round(result.p99_latency_us(), 1),
-                 round(result.latency.p(99.9), 1)]
+                 round(result.latency.p(99.9), 1),
+                 # Inode/change-log lock wait per op, from the runtime's
+                 # phase hooks: the serialisation the ablation removes.
+                 round(result.phase_mean_us("lock"), 2)]
             )
         return rows
 
@@ -76,7 +77,7 @@ def test_fig15_latency(benchmark):
     save_table(
         "fig15_latency_breakdown",
         format_table("Fig 15: create latency by variant (single client)",
-                     ["variant", "avg us", "p99 us", "p99.9 us"], rows),
+                     ["variant", "avg us", "p99 us", "p99.9 us", "lock-wait us"], rows),
     )
     by = {r[0]: r for r in rows}
     # +Async cuts average latency vs Baseline (no cross-server txn on the

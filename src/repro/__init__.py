@@ -30,8 +30,40 @@ Quickstart
 >>> fs = cluster.client(0)
 >>> cluster.run_op(fs.mkdir("/data"))["status"]
 'ok'
+
+Terminology
+-----------
+The paper names the system **SwitchFS** in its title and **AsyncFS** in
+its evaluation; both name the same design.  This package exposes aliases
+under the AsyncFS terminology (``AsyncFSCluster``, ``AsyncFSServer``,
+``AsyncFSClient``, ``AsyncFSConfig``) resolving to the SwitchFS-named
+classes, so code written against either vocabulary reads naturally.
 """
+
+import importlib
 
 __version__ = "0.1.0"
 
-__all__ = ["__version__"]
+# AsyncFS-terminology aliases -> (module, canonical name).  Resolved
+# lazily (PEP 562) so `import repro` stays cheap and free of cycles.
+_ALIASES = {
+    "AsyncFSCluster": ("repro.core", "SwitchFSCluster"),
+    "AsyncFSServer": ("repro.core", "MetadataServer"),
+    "AsyncFSClient": ("repro.core", "LibFS"),
+    "AsyncFSConfig": ("repro.core", "FSConfig"),
+    "AsyncFSRuntime": ("repro.core", "ServerRuntime"),
+}
+
+__all__ = ["__version__", *sorted(_ALIASES)]
+
+
+def __getattr__(name: str):
+    try:
+        module, canonical = _ALIASES[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    return getattr(importlib.import_module(module), canonical)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_ALIASES))

@@ -44,7 +44,7 @@ from ..core.schema import (
     owner_of_file,
     root_inode,
 )
-from ..kvstore import KVStore
+from ..core.server import ServerRuntime
 from ..net import (
     FaultModel,
     Network,
@@ -54,7 +54,7 @@ from ..net import (
     RpcRequest,
     single_rack_path,
 )
-from ..sim import Counter, Resource, RWLock, Simulator
+from ..sim import Counter, Simulator
 
 __all__ = [
     "BaselinePartition",
@@ -145,8 +145,14 @@ class SubtreePartition(BaselinePartition):
         return self._addr(_h(self._top(path)) % self.num_servers)
 
 
-class SyncMetadataServer:
-    """A metadata server with synchronous (transactional) updates."""
+class SyncMetadataServer(ServerRuntime):
+    """A metadata server with synchronous (transactional) updates.
+
+    Runs on the exact :class:`~repro.core.server.ServerRuntime` substrate
+    SwitchFS's :class:`~repro.core.server.MetadataServer` uses — CPU-core
+    accounting, inode lock table, RPC plumbing, recovery gate, phase
+    instrumentation — so only the metadata scheme differs (§6.1).
+    """
 
     def __init__(
         self,
@@ -156,68 +162,31 @@ class SyncMetadataServer:
         config: FSConfig,
         partition: BaselinePartition,
     ):
-        self.sim = sim
-        self.addr = addr
-        self.config = config
-        self.perf = config.perf
+        ServerRuntime.__init__(self, sim, net, addr, config)
         self.partition = partition
-        self.node = RpcNode(sim, net, addr)
-        self.kv = KVStore()
-        self.cores = Resource(sim, config.cores_per_server)
-        self.counters = Counter()
-        self._locks: Dict[Tuple, RWLock] = {}
-        self._dir_index: Dict[int, Tuple] = {}
-        n = self.node
-        n.register("create", self._handle_create)
-        n.register("delete", self._handle_delete)
-        n.register("mkdir", self._handle_mkdir)
-        n.register("rmdir", self._handle_rmdir)
-        n.register("stat", self._handle_stat)
-        n.register("open", self._handle_stat)
-        n.register("close", self._handle_close)
-        n.register("statdir", self._handle_statdir)
-        n.register("readdir", self._handle_readdir)
-        n.register("lookup_dir", self._handle_lookup_dir)
-        n.register("parent_prepare", self._handle_parent_prepare)
-        n.register("parent_commit", self._handle_parent_commit)
-        n.register("put_inode", self._handle_put_inode)
-        n.register("delete_inode", self._handle_delete_inode)
-        n.register("read_inode", self._handle_read_inode)
+        self.register_handlers(
+            {
+                "create": self._handle_create,
+                "delete": self._handle_delete,
+                "mkdir": self._handle_mkdir,
+                "rmdir": self._handle_rmdir,
+                "stat": self._handle_stat,
+                "open": self._handle_stat,
+                "close": self._handle_close,
+                "statdir": self._handle_statdir,
+                "readdir": self._handle_readdir,
+                "lookup_dir": self._handle_lookup_dir,
+                "parent_prepare": self._handle_parent_prepare,
+                "parent_commit": self._handle_parent_commit,
+                "put_inode": self._handle_put_inode,
+                "delete_inode": self._handle_delete_inode,
+                "read_inode": self._handle_read_inode,
+            }
+        )
 
     def install_root(self) -> None:
         if self.partition.dir_owner_root() == self.addr:
-            root = root_inode()
-            # WAL-logged so the root survives a crash + replay.
-            self.kv.put(dir_meta_key(root.pid, root.name), root)
-            self._dir_index[root.id] = dir_meta_key(root.pid, root.name)
-
-    # -- plumbing ------------------------------------------------------------
-    def _cpu(self, us: float) -> Generator:
-        yield self.cores.acquire()
-        try:
-            yield self.sim.timeout(us * self.perf.stack_multiplier)
-        finally:
-            self.cores.release()
-
-    def _net_penalty(self) -> Generator:
-        """Extra per-message software cost (kernel networking baselines)."""
-        if self.perf.extra_net_us:
-            yield from self._cpu(self.perf.extra_net_us)
-
-    def _lock(self, key: Tuple) -> RWLock:
-        lock = self._locks.get(key)
-        if lock is None:
-            lock = RWLock(self.sim)
-            self._locks[key] = lock
-        return lock
-
-    def _call(self, dst: str, method: str, args) -> Generator:
-        value, _ = yield from self.node.call(
-            dst, method, args,
-            timeout_us=self.perf.rpc_timeout_us,
-            max_attempts=self.perf.rpc_max_attempts,
-        )
-        return value
+            self.install_root_inode()
 
     # -- double-inode file ops --------------------------------------------
     def _handle_create(self, request: RpcRequest, packet) -> Generator:
@@ -228,11 +197,12 @@ class SyncMetadataServer:
 
     def _file_double(self, args: Dict[str, Any], create: bool) -> Generator:
         pid, name = args["pid"], args["name"]
+        yield from self._wait_recovered()
         yield from self._net_penalty()
         yield from self._cpu(self.perf.path_check_us)
         key = file_meta_key(pid, name)
-        lock = self._lock(key)
-        yield lock.acquire_write()
+        lock = self._inode_lock(key)
+        yield from self._acquire(lock, "w")
         try:
             yield from self._cpu(self.perf.kv_get_us)
             exists = key in self.kv
@@ -293,8 +263,8 @@ class SyncMetadataServer:
         yield from self._net_penalty()
         yield from self._cpu(self.perf.txn_phase_us)
         key = tuple(spec["parent_key"])
-        lock = self._lock(key)
-        yield lock.acquire_write()
+        lock = self._inode_lock(key)
+        yield from self._acquire(lock, "w")
         return {"status": "prepared"}
 
     def _handle_parent_commit(self, request: RpcRequest, packet) -> Generator:
@@ -305,13 +275,13 @@ class SyncMetadataServer:
         try:
             yield from self._apply_parent_inode(spec, locked=True)
         finally:
-            self._lock(key).release_write()
+            self._inode_lock(key).release_write()
         return {"status": "ok"}
 
     def _apply_parent_local(self, spec: Dict[str, Any]) -> Generator:
         key = tuple(spec["parent_key"])
-        lock = self._lock(key)
-        yield lock.acquire_write()
+        lock = self._inode_lock(key)
+        yield from self._acquire(lock, "w")
         try:
             yield from self._apply_parent_inode(spec, locked=True)
         finally:
@@ -338,11 +308,12 @@ class SyncMetadataServer:
     def _handle_mkdir(self, request: RpcRequest, packet) -> Generator:
         args = request.args
         pid, name = args["pid"], args["name"]
+        yield from self._wait_recovered()
         yield from self._net_penalty()
         yield from self._cpu(self.perf.path_check_us)
         key = dir_meta_key(pid, name)
-        lock = self._lock(key)
-        yield lock.acquire_write()
+        lock = self._inode_lock(key)
+        yield from self._acquire(lock, "w")
         try:
             yield from self._cpu(self.perf.kv_get_us)
             if key in self.kv:
@@ -375,11 +346,12 @@ class SyncMetadataServer:
     def _handle_rmdir(self, request: RpcRequest, packet) -> Generator:
         args = request.args
         pid, name = args["pid"], args["name"]
+        yield from self._wait_recovered()
         yield from self._net_penalty()
         yield from self._cpu(self.perf.path_check_us)
         key = dir_meta_key(pid, name)
-        lock = self._lock(key)
-        yield lock.acquire_write()
+        lock = self._inode_lock(key)
+        yield from self._acquire(lock, "w")
         try:
             yield from self._cpu(self.perf.kv_get_us)
             inode = self.kv.get_or_none(key)
@@ -409,11 +381,12 @@ class SyncMetadataServer:
     # -- reads -----------------------------------------------------------------
     def _handle_stat(self, request: RpcRequest, packet) -> Generator:
         args = request.args
+        yield from self._wait_recovered()
         yield from self._net_penalty()
         yield from self._cpu(self.perf.path_check_us)
         key = file_meta_key(args["pid"], args["name"])
-        lock = self._lock(key)
-        yield lock.acquire_read()
+        lock = self._inode_lock(key)
+        yield from self._acquire(lock, "r")
         try:
             yield from self._cpu(self.perf.kv_get_us)
             inode = self.kv.get_or_none(key)
@@ -424,17 +397,19 @@ class SyncMetadataServer:
             lock.release_read()
 
     def _handle_close(self, request: RpcRequest, packet) -> Generator:
+        yield from self._wait_recovered()
         yield from self._net_penalty()
         yield from self._cpu(self.perf.path_check_us)
         return {"status": "ok"}
 
     def _handle_statdir(self, request: RpcRequest, packet) -> Generator:
         args = request.args
+        yield from self._wait_recovered()
         yield from self._net_penalty()
         yield from self._cpu(self.perf.path_check_us)
         key = dir_meta_key(args["pid"], args["name"])
-        lock = self._lock(key)
-        yield lock.acquire_read()
+        lock = self._inode_lock(key)
+        yield from self._acquire(lock, "r")
         try:
             yield from self._cpu(self.perf.kv_get_us)
             inode = self.kv.get_or_none(key)
@@ -455,6 +430,7 @@ class SyncMetadataServer:
 
     def _handle_lookup_dir(self, request: RpcRequest, packet) -> Generator:
         args = request.args
+        yield from self._wait_recovered()
         yield from self._net_penalty()
         yield from self._cpu(self.perf.kv_get_us)
         inode = self.kv.get_or_none(dir_meta_key(args["pid"], args["name"]))

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..core.cluster import SwitchFSCluster
-from ..sim import AllOf, LatencyRecorder
+from ..sim import AllOf, LatencyRecorder, PhaseStats
 from ..workloads.generator import OpStream
 
 __all__ = ["RunResult", "run_stream", "find_peak_throughput"]
@@ -32,6 +32,15 @@ class RunResult:
     wall_seconds: float
     latency: LatencyRecorder
     inflight: int
+    # Server-side phase breakdown (queue/cpu/lock/net wait), merged over
+    # every server, covering exactly this run's window.
+    phases: PhaseStats = field(default_factory=PhaseStats)
+
+    def phase_mean_us(self, phase: str) -> float:
+        """Per-op mean time spent in *phase* across the whole cluster."""
+        if self.ops_completed == 0:
+            return 0.0
+        return self.phases.total(phase) / self.ops_completed
 
     @property
     def throughput_ops(self) -> float:
@@ -70,6 +79,14 @@ def run_stream(
     latency = LatencyRecorder()
     label = op_label or "all"
     state = {"issued": 0, "completed": 0, "window_start": None, "window_end": None}
+    servers = getattr(cluster, "servers", [])
+
+    def open_window():
+        state["window_start"] = sim.now
+        # Phase accounting covers the measurement window only: drop
+        # whatever bootstrap / warmup traffic accumulated before it.
+        for server in servers:
+            server.phases.clear()
 
     def worker(client_idx: int):
         fs = cluster.client(client_idx)
@@ -80,7 +97,7 @@ def run_stream(
             yield from thunk(fs)
             state["completed"] += 1
             if state["completed"] == warmup_ops:
-                state["window_start"] = sim.now
+                open_window()
             elif state["completed"] > warmup_ops:
                 elapsed = sim.now - t0
                 latency.record(elapsed, label)
@@ -97,7 +114,7 @@ def run_stream(
 
     wall0 = time.time()
     if warmup_ops == 0:
-        state["window_start"] = sim.now
+        open_window()
     procs = [
         sim.spawn(worker(w % num_clients), name=f"bench-worker-{w}")
         for w in range(inflight)
@@ -107,12 +124,16 @@ def run_stream(
     window_end = state["window_end"] or sim.now
     if window_start is None or window_end <= window_start:
         raise RuntimeError("measurement window is empty; increase total_ops")
+    phases = PhaseStats()
+    for server in servers:
+        phases.merge(server.phases)
     return RunResult(
         ops_completed=total_ops - warmup_ops,
         sim_elapsed_us=window_end - window_start,
         wall_seconds=time.time() - wall0,
         latency=latency,
         inflight=inflight,
+        phases=phases,
     )
 
 

@@ -41,7 +41,7 @@ from .schema import (
     owner_of_file,
     root_inode,
 )
-from .server import MetadataServer
+from .server import MetadataServer, ServerRuntime
 from .staleset_backend import ServerBackendClient, StaleSetServer
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "ResolvedDir",
     "split_path",
     "MetadataServer",
+    "ServerRuntime",
     "ClusterMap",
     "StaleSetServer",
     "ServerBackendClient",

@@ -1,0 +1,155 @@
+"""The SwitchFS metadata server (§4), as a layered package.
+
+Each server owns a per-file-hashed partition of inodes, a local
+change-log table for delayed remote-directory updates, an invalidation
+list, a WAL, and a pool of CPU cores.  The op workflows follow §4.2:
+
+* **Double-inode ops** (``create``, ``delete``, ``mkdir``, ``rmdir``)
+  execute entirely on the server owning the *target* object.  The parent
+  directory's update is appended to a local change-log and the response
+  leaves with an ``INSERT`` stale-set header; the switch marks the parent
+  *scattered* and multicasts the response to the client (completion) and
+  back to this server (unlock).  On stale-set overflow the switch
+  redirects the response to the parent's owner, which applies the update
+  synchronously (fallback) before completing the operation.
+
+* **Directory reads** (``statdir``, ``readdir``) arrive with a ``QUERY``
+  header whose RET bit the switch filled in.  A scattered directory
+  triggers a **metadata aggregation**: block reads on the fingerprint
+  group, pull change-logs from all servers, apply them (recast: one inode
+  transaction + parallel entry ops), multicast an acknowledgment carrying
+  a ``REMOVE`` header, unblock.
+
+* **Rename** moves the inode in a synchronous distributed transaction
+  (global-key-order locking, deadlock-free); the parent entry fix-ups
+  take the deferred change-log path for file renames, while directory
+  renames serialise through the centralised coordinator and aggregate
+  the affected fingerprint groups first (see :mod:`repro.core.rename`).
+
+Feature flags (``config.async_updates`` / ``config.recast``) switch the
+server into the ablation modes of §6.5.1, and ``config.stale_backend``
+swaps the in-network stale set for a stale-set *server* (§6.5.2).
+
+The implementation is layered — each layer is one module:
+
+========================  =============================================
+:mod:`.runtime`           CPU / lock / RPC / recovery-gate substrate
+                          (:class:`ServerRuntime`, shared with the
+                          baselines' ``SyncMetadataServer``)
+:mod:`.ops`               double-inode update workflows (§4.2)
+:mod:`.reads`             directory / single-inode read workflows
+:mod:`.aggregation`       pull/apply/ack + proactive policy (§4.2.2/§4.3)
+:mod:`.changelog_engine`  change-log push, recast, idle sweep, flush
+:mod:`.renamepart`        rename 2PC participant (§4.2)
+:mod:`.recovery`          crash / checkpoint / WAL recovery (§4.4)
+========================  =============================================
+
+:class:`MetadataServer` composes them; the public API is unchanged from
+the former single-module implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ...net.topology import Network
+from ...sim import Event, RWLock, Simulator
+from ..changelog import ChangeLogTable
+from ..clustermap import ClusterMap
+from ..config import FSConfig
+from ..invalidation import InvalidationList
+from ..schema import root_inode
+from ..staleset_backend import ServerBackendClient
+from .aggregation import AggregationProtocol
+from .changelog_engine import ChangeLogEngine
+from .ops import ServerOps
+from .reads import ReadOps
+from .recovery import CrashRecovery
+from .renamepart import RenameParticipant
+from .runtime import ServerRuntime
+
+__all__ = ["MetadataServer", "ServerRuntime"]
+
+
+class MetadataServer(
+    ServerOps,
+    ReadOps,
+    AggregationProtocol,
+    ChangeLogEngine,
+    RenameParticipant,
+    CrashRecovery,
+    ServerRuntime,
+):
+    """One SwitchFS metadata server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        addr: str,
+        config: FSConfig,
+        cmap: ClusterMap,
+    ):
+        ServerRuntime.__init__(self, sim, net, addr, config)
+        self.cmap = cmap
+        self.changelogs = ChangeLogTable()
+        self.inval = InvalidationList()
+
+        self._changelog_locks: Dict[int, RWLock] = {}
+        self._group_blocks: Dict[int, Event] = {}
+        self._pending_unlocks: Dict[int, Dict[str, Any]] = {}
+        self._dir_nonce = 0
+        self._remove_seq = 0
+        self._grace_pending: Dict[int, bool] = {}
+        # Change-log write locks held between an agg_pull and its ack (§4.2.2
+        # step 9a): fp -> list of held RWLocks, plus waiters for release.
+        self._pull_locks: Dict[int, List[RWLock]] = {}
+        self._pull_waiters: Dict[int, Event] = {}
+        self._last_push_at: Dict[int, float] = {}
+
+        self.ss = (
+            ServerBackendClient(self.node, config)
+            if config.stale_backend == "server"
+            else None
+        )
+
+        self.register_handlers(
+            {
+                "create": self._handle_create,
+                "delete": self._handle_delete,
+                "mkdir": self._handle_mkdir,
+                "rmdir": self._handle_rmdir,
+                "stat": self._handle_stat,
+                "open": self._handle_open,
+                "close": self._handle_close,
+                "statdir": self._handle_statdir,
+                "readdir": self._handle_readdir,
+                "lookup_dir": self._handle_lookup_dir,
+                "agg_pull": self._handle_agg_pull,
+                "agg_ack": self._handle_agg_ack,
+                "changelog_push": self._handle_changelog_push,
+                "invalidate_and_pull": self._handle_invalidate_and_pull,
+                "uninvalidate": self._handle_uninvalidate,
+                "unlock_fallback": self._handle_unlock_fallback,
+                "apply_parent_update": self._handle_apply_parent_update,
+                "aggregate_now": self._handle_aggregate_now,
+                "rename": self._handle_rename,
+                "read_inode": self._handle_read_inode,
+                "read_inode_scan": self._handle_read_inode_scan,
+                "rename_lock": self._handle_rename_lock,
+                "mark_entry": self._handle_mark_entry,
+                "rename_commit": self._handle_rename_commit,
+                "rename_abort": self._handle_rename_abort,
+                "clone_invalidation": self._handle_clone_invalidation,
+                "flush_apply": self._handle_flush_apply,
+            }
+        )
+        self.node.add_raw_tap(self._tap)
+        if config.proactive_enabled and config.async_updates:
+            sim.spawn(self._idle_push_sweeper(), name=f"sweeper-{addr}")
+
+    def install_root(self) -> None:
+        """Install the root inode if this server owns it."""
+        root = root_inode()
+        if self.cmap.dir_owner_by_fp(root.fingerprint) == self.addr:
+            self.install_root_inode()

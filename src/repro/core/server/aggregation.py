@@ -1,0 +1,290 @@
+"""Metadata aggregation (§4.2.2, §4.3): pull / apply / ack, plus the
+proactive (push-triggered) aggregation policy.
+
+A scattered directory read triggers an aggregation: block reads on the
+fingerprint group, pull change-logs from all servers, apply them (see
+:mod:`repro.core.server.changelog_engine` for recast application),
+multicast an acknowledgment carrying a ``REMOVE`` stale-set header,
+unblock.  Remote change-logs stay write-locked from the pull until the
+ack (§4.2.2 step 9a) — the back-pressure that bounds sustained update
+throughput by the application rate (§6.5.1).
+
+Proactive aggregation (§4.3): pushes stage change-logs at the directory
+owner, and the owner aggregates once pushes quiesce for a grace period
+(capped by ``grace_cap_us`` so continuous load cannot defer forever).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ...net import Packet, RpcRequest, StaleSetHeader, StaleSetOp
+from ...sim import Event
+from ..changelog import ChangeLog, ChangeLogEntry
+
+__all__ = ["AggregationProtocol"]
+
+
+class AggregationProtocol:
+    """Mixin: group aggregation, pull-lock discipline, and proactive policy."""
+
+    # ------------------------------------------------------------------
+    # group read-blocks
+    # ------------------------------------------------------------------
+    def _wait_group_unblocked(self, fp: int) -> Generator:
+        """Wait while an aggregation blocks reads on the fingerprint group."""
+        while fp in self._group_blocks:
+            yield self._group_blocks[fp]
+
+    # ------------------------------------------------------------------
+    # aggregation proper
+    # ------------------------------------------------------------------
+    def _aggregate_group(self, fp: int) -> Generator:
+        """Aggregate every change-log in the fingerprint group onto the
+        directories this server owns."""
+        if fp in self._group_blocks:
+            # Someone else is already aggregating: piggyback on them.
+            yield from self._wait_group_unblocked(fp)
+            return
+        block = self.sim.event()
+        self._group_blocks[fp] = block
+        try:
+            others = self.cmap.others(self.addr)
+            results = []
+            if others:
+                results = yield from self._multicast(others, "agg_pull", {"fp": fp})
+            local, local_locks = yield from self._drain_local_group(fp)
+            try:
+                pulled = self._merge_pulled(results, local)
+                if pulled:
+                    yield from self._cpu(self.perf.wal_append_us)
+                    self.wal.append("agg", [(d, e) for d, e, _ in pulled])
+                    yield from self._apply_logs(pulled)
+                self._send_agg_ack(fp, others, results, local)
+            finally:
+                for lock in local_locks:
+                    lock.release_write()
+            self.counters.inc("aggregations")
+        finally:
+            del self._group_blocks[fp]
+            block.succeed()
+
+    def _drain_local_group(self, fp: int) -> Generator:
+        """Drain this server's own change-logs for a group.
+
+        The write locks are returned to the caller and must be released
+        after application (matching the remote pull-until-ack discipline).
+        Returns ``(drained, locks)``.
+        """
+        logs = self.changelogs.logs_in_group(fp)
+        locks = [self._changelog_lock(log.dir_id) for log in logs]
+        for lock in locks:
+            yield from self._acquire(lock, "w")
+        return self.changelogs.drain_group(fp), locks
+
+    def _merge_pulled(
+        self,
+        remote_results: List[Dict[str, Any]],
+        local: List[Tuple[int, List[ChangeLogEntry], List[int]]],
+    ) -> List[Tuple[int, List[ChangeLogEntry], Optional[List[int]]]]:
+        """Combine remote pull results and locally drained logs per directory."""
+        merged: Dict[int, List[ChangeLogEntry]] = {}
+        for result in remote_results:
+            for dir_id, entries in result["logs"]:
+                merged.setdefault(dir_id, []).extend(entries)
+        local_lsns: Dict[int, List[int]] = {}
+        for dir_id, entries, lsns in local:
+            merged.setdefault(dir_id, []).extend(entries)
+            local_lsns[dir_id] = lsns
+        return [
+            (dir_id, entries, local_lsns.get(dir_id)) for dir_id, entries in merged.items()
+        ]
+
+    def _send_agg_ack(
+        self,
+        fp: int,
+        others: List[str],
+        remote_results: List[Dict[str, Any]],
+        local: List[Tuple[int, List[ChangeLogEntry], List[int]]],
+    ) -> None:
+        """Multicast the aggregation acknowledgment.
+
+        Each copy carries a REMOVE stale-set header (same SEQ): the switch
+        executes the first and filters the duplicates (§4.4.1).  Receivers
+        mark their shipped WAL records as applied.  Local records are
+        marked directly.
+        """
+        self._remove_seq += 1
+        seq = self._remove_seq
+        lsns_by_server: Dict[str, List[int]] = {}
+        for other, result in zip(others, remote_results):
+            lsns_by_server[other] = result.get("lsns", [])
+        if self.ss is not None:
+            # Server backend: one explicit remove RPC, plain acks.
+            self.sim.spawn(self._ss_remove(fp, seq), name="ss-remove")
+            for other in others:
+                self.node.notify(
+                    other, "agg_ack",
+                    {"fp": fp, "lsns": lsns_by_server.get(other, [])},
+                )
+        else:
+            header = StaleSetHeader(op=StaleSetOp.REMOVE, fingerprint=fp, seq=seq)
+            if others:
+                for other in others:
+                    self.node.notify(
+                        other, "agg_ack",
+                        {"fp": fp, "lsns": lsns_by_server.get(other, [])},
+                        header=header,
+                    )
+            else:
+                # Single-server cluster: still clear the switch state.
+                self.node.notify(self.addr, "agg_ack", {"fp": fp, "lsns": []}, header=header)
+        for _dir_id, _entries, lsns in local:
+            for lsn in lsns:
+                self.wal.mark_applied_if_present(lsn)
+
+    def _ss_remove(self, fp: int, seq: int) -> Generator:
+        yield from self.ss.remove(fp, self.addr, seq)
+
+    # ------------------------------------------------------------------
+    # pull side: hand over change-logs, hold locks until the ack
+    # ------------------------------------------------------------------
+    def _handle_agg_pull(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Another server aggregates a group: hand over our change-logs.
+
+        The write locks taken here are **held until the aggregation
+        acknowledgment** (§4.2.2 step 9a), not released at reply time:
+        while the aggregator applies the group's updates, no new entries
+        may be appended for it anywhere.  This back-pressure is what bounds
+        sustained update throughput by the application rate — the effect
+        the +Async/+Recast ablation of §6.5.1 measures.
+        """
+        fp = request.args["fp"]
+        # If a previous aggregation's ack is still in flight, wait for it —
+        # answering early with empty logs would hide entries appended since
+        # that aggregation's drain (a visibility violation).
+        while fp in self._pull_locks:
+            yield self._pull_waiter(fp)
+        logs = self.changelogs.logs_in_group(fp)
+        locks = [self._changelog_lock(log.dir_id) for log in logs]
+        for lock in locks:
+            yield from self._acquire(lock, "w")
+        self._pull_locks[fp] = locks
+        if self.config.unlock_watchdog_us:
+            self.sim.spawn(self._pull_lock_watchdog(fp, locks), name="pull-watchdog")
+        yield from self._cpu(self.perf.kv_get_us)
+        drained = self.changelogs.drain_group(fp)
+        lsns = [lsn for _d, _e, lsn_list in drained for lsn in lsn_list]
+        return {
+            "logs": [(dir_id, entries) for dir_id, entries, _ in drained],
+            "lsns": lsns,
+        }
+
+    def _pull_waiter(self, fp: int) -> Event:
+        ev = self._pull_waiters.get(fp)
+        if ev is None:
+            ev = self.sim.event()
+            self._pull_waiters[fp] = ev
+        return ev
+
+    def _release_pull_locks(self, fp: int) -> None:
+        for lock in self._pull_locks.pop(fp, []):
+            lock.release_write()
+        waiter = self._pull_waiters.pop(fp, None)
+        if waiter is not None:
+            waiter.succeed()
+
+    def _pull_lock_watchdog(self, fp: int, locks) -> Generator:
+        """Release pull locks if the aggregation ack is lost (UDP)."""
+        yield self.sim.timeout(self.config.unlock_watchdog_us)
+        if self._pull_locks.get(fp) is locks:
+            self.counters.inc("pull_watchdog_fires")
+            self._release_pull_locks(fp)
+
+    def _handle_agg_ack(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Aggregation done: unlock change-logs, mark shipped WAL records."""
+        yield from self._cpu(self.perf.changelog_append_us)
+        fp = request.args.get("fp")
+        if fp is not None:
+            self._release_pull_locks(fp)
+        for lsn in request.args.get("lsns", []):
+            try:
+                self.wal.mark_applied(lsn)
+            except KeyError:
+                pass  # checkpointed already
+
+    # ------------------------------------------------------------------
+    # rmdir support: invalidation
+    # ------------------------------------------------------------------
+    def _handle_invalidate_and_pull(self, request: RpcRequest, packet: Packet) -> Generator:
+        """rmdir at another server: invalidate locally, ship the group's logs."""
+        args = request.args
+        dir_id, fp = args["dir_id"], args["fp"]
+        while fp in self._pull_locks:
+            yield self._pull_waiter(fp)
+        logs = self.changelogs.logs_in_group(fp)
+        locks = [self._changelog_lock(log.dir_id) for log in logs]
+        for lock in locks:
+            yield from self._acquire(lock, "w")
+        self._pull_locks[fp] = locks
+        if self.config.unlock_watchdog_us:
+            self.sim.spawn(self._pull_lock_watchdog(fp, locks), name="pull-watchdog")
+        yield from self._cpu(self.perf.kv_get_us)
+        self.inval.insert(dir_id)
+        drained = self.changelogs.drain_group(fp)
+        lsns = [lsn for _d, _e, lsn_list in drained for lsn in lsn_list]
+        return {
+            "logs": [(d, entries) for d, entries, _ in drained],
+            "lsns": lsns,
+        }
+
+    def _handle_uninvalidate(self, request: RpcRequest, packet: Packet) -> Generator:
+        yield from self._cpu(self.perf.changelog_append_us)
+        self.inval._ids.discard(request.args["dir_id"])
+
+    def _handle_aggregate_now(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Force-aggregate a fingerprint group (rename preparation)."""
+        fp = request.args["fp"]
+        yield from self._wait_group_unblocked(fp)
+        yield from self._aggregate_group(fp)
+        return {"status": "ok"}
+
+    # ------------------------------------------------------------------
+    # proactive aggregation policy (§4.3)
+    # ------------------------------------------------------------------
+    def _maybe_push(self, log: ChangeLog) -> None:
+        if not self.config.proactive_enabled:
+            return
+        if len(log) >= self.config.proactive_push_entries:
+            self.sim.spawn(self._push_log(log), name=f"push-{self.addr}")
+
+    def _note_push(self, fp: int) -> None:
+        self._last_push_at[fp] = self.sim.now
+        if not self._grace_pending.get(fp):
+            self._grace_pending[fp] = True
+            self.sim.spawn(self._grace_aggregate(fp), name=f"grace-{self.addr}")
+
+    def _grace_aggregate(self, fp: int) -> Generator:
+        """Aggregate once pushes quiesce for a grace period (§4.3).
+
+        Under a continuous update stream the quiet window would never
+        arrive, so ``grace_cap_us`` bounds the total deferral: at latest
+        that long after the first pending push, aggregation proceeds —
+        this keeps change-logs bounded and is what throttles sustained
+        update throughput to the application rate.
+        """
+        grace = self.config.grace_period_us
+        deadline = self.sim.now + self.config.grace_cap_us
+        while True:
+            since = self.sim.now - self._last_push_at.get(fp, 0.0)
+            wait = min(grace - since, deadline - self.sim.now)
+            # The epsilon guard prevents a float-precision spin: at large
+            # virtual times a sub-resolution timeout fires without
+            # advancing the clock.
+            if wait <= 1e-6:
+                break
+            yield self.sim.timeout(wait)
+        self._grace_pending[fp] = False
+        yield from self._wait_group_unblocked(fp)
+        yield from self._aggregate_group(fp)
+        self.counters.inc("proactive_aggregations")

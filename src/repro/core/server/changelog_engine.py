@@ -1,0 +1,249 @@
+"""Change-log engine (§4.3): push, recast application, idle sweeping,
+and the switch-failure flush.
+
+The engine owns everything that moves or applies change-log entries:
+
+* **push** — ship an MTU-full or idle log to the directory's owner;
+* **application** — replay pulled logs onto owned directory inodes,
+  either entry-by-entry (each its own inode transaction) or **recast**:
+  consolidated timestamps mean one inode transaction per directory while
+  the commutative entry-list ops fan out across this server's cores;
+* **idle sweeper** — the background process pushing logs that have gone
+  quiet (§4.3 condition 2);
+* **flush** — switch-failure recovery (§4.4.2): send every pending log
+  to its owner for immediate application.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ...net import Packet, RpcError, RpcRequest
+from ...sim import AllOf, RWLock
+from ..changelog import ChangeLog, ChangeLogEntry
+from ..schema import DirEntry, dir_entry_key
+
+__all__ = ["ChangeLogEngine"]
+
+
+class ChangeLogEngine:
+    """Mixin: change-log movement and application."""
+
+    # ------------------------------------------------------------------
+    # lock table for change-logs (keyed by directory id)
+    # ------------------------------------------------------------------
+    def _changelog_lock(self, dir_id: int) -> RWLock:
+        lock = self._changelog_locks.get(dir_id)
+        if lock is None:
+            lock = RWLock(self.sim)
+            self._changelog_locks[dir_id] = lock
+        return lock
+
+    def pending_changelog_entries(self) -> int:
+        return self.changelogs.pending_entries()
+
+    # ------------------------------------------------------------------
+    # push path
+    # ------------------------------------------------------------------
+    def _push_log(self, log: ChangeLog) -> Generator:
+        """Ship one change-log to the directory's owner (MTU-full or idle)."""
+        owner = self.cmap.dir_owner_by_fp(log.fingerprint)
+        lock = self._changelog_lock(log.dir_id)
+        yield from self._acquire(lock, "w")
+        entries, lsns = log.drain()
+        lock.release_write()
+        if not entries:
+            return
+        if owner == self.addr:
+            # Our own directory: re-append locally and trigger aggregation.
+            for entry, lsn in zip(entries, lsns):
+                self.changelogs.append(log.dir_id, log.fingerprint, entry, lsn, self.sim.now)
+            self._note_push(log.fingerprint)
+            return
+        try:
+            yield from self._call(
+                owner,
+                "changelog_push",
+                {
+                    "dir_id": log.dir_id,
+                    "fp": log.fingerprint,
+                    "entries": entries,
+                    "from": self.addr,
+                },
+            )
+        except RpcError:
+            # Push failed (owner slow/dead): restore entries for a later push
+            # or pull; order within one log does not matter (commutative).
+            restored = self.changelogs.log_for(log.dir_id, log.fingerprint)
+            for entry, lsn in zip(entries, lsns):
+                restored.append(entry, lsn, self.sim.now)
+            return
+        self.counters.inc("proactive_pushes")
+        for lsn in lsns:
+            self.wal.mark_applied_if_present(lsn)
+
+    def _handle_changelog_push(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Receive a pushed change-log; stage it locally and schedule a
+        grace-period aggregation."""
+        args = request.args
+        dir_id, fp = args["dir_id"], args["fp"]
+        yield from self._cpu(self.perf.wal_append_us)
+        for entry in args["entries"]:
+            lsn = self.wal.append("changelog", (dir_id, fp, entry))
+            self.changelogs.append(dir_id, fp, entry, lsn, self.sim.now)
+        self._note_push(fp)
+        return {"status": "ok"}
+
+    def _idle_push_sweeper(self) -> Generator:
+        """Periodically push change-logs that have gone idle (§4.3 cond. 2)."""
+        interval = self.config.proactive_idle_push_us
+        while True:
+            yield self.sim.timeout(interval / 2)
+            now = self.sim.now
+            for fp in self.changelogs.non_empty_groups():
+                for log in self.changelogs.logs_in_group(fp):
+                    if now - log.last_append_at >= interval and len(log):
+                        self.sim.spawn(self._push_log(log), name="idle-push")
+
+    # ------------------------------------------------------------------
+    # application: raw replay or recast
+    # ------------------------------------------------------------------
+    def _apply_logs(
+        self,
+        pulled: List[Tuple[int, List[ChangeLogEntry], Optional[List[int]]]],
+        already_locked: frozenset = frozenset(),
+    ) -> Generator:
+        """Apply aggregated change-logs to the owned directory inodes.
+
+        With **recast** (§4.3): entries' timestamps were consolidated, so
+        each directory needs one inode transaction; the entry-list ops are
+        independent and run in parallel across this server's cores.
+
+        Without recast (+Async ablation): each entry replays as its own
+        inode transaction, serialising on the directory inode.
+        """
+        for dir_id, entries, _lsns in pulled:
+            if not entries:
+                continue
+            if self.config.recast:
+                yield from self._apply_recast(dir_id, entries, already_locked)
+            else:
+                for entry in sorted(entries, key=lambda e: e.timestamp):
+                    yield from self._cpu(self.perf.txn_phase_us)
+                    yield from self._apply_entry_with_inode_txn(dir_id, entry, already_locked)
+
+    def _apply_recast(
+        self,
+        dir_id: int,
+        entries: List[ChangeLogEntry],
+        already_locked: frozenset = frozenset(),
+    ) -> Generator:
+        key = self._dir_index.get(dir_id)
+        if key is None:
+            return  # directory no longer exists here
+        max_ts = max(e.timestamp for e in entries)
+        deltas: List[int] = []
+
+        def entry_worker(entry: ChangeLogEntry) -> Generator:
+            yield from self._cpu(self.perf.dir_entry_put_us)
+            deltas.append(self._apply_entry_to_list(dir_id, entry))
+
+        workers = [
+            self.sim.spawn(entry_worker(e), name="recast-entry") for e in entries
+        ]
+        yield AllOf(self.sim, workers)
+
+        take_lock = key not in already_locked
+        lock = self._inode_lock(key)
+        if take_lock:
+            yield from self._acquire(lock, "w")
+        try:
+            yield from self._cpu(self.perf.dir_inode_update_us)
+            inode = self.kv.get_or_none(key)
+            if inode is not None:
+                self.kv.put(key, inode.touched(max_ts, sum(deltas)))
+        finally:
+            if take_lock:
+                lock.release_write()
+
+    def _apply_entry_with_inode_txn(
+        self, dir_id: int, entry: ChangeLogEntry, already_locked: frozenset = frozenset()
+    ) -> Generator:
+        """One entry applied under the directory-inode write lock.
+
+        This is the contended segment: the lock-hold window is what
+        serialises concurrent updates of one directory in synchronous
+        systems (Challenge 2).  *already_locked* names inode keys the
+        caller holds write locks on (rmdir holds its own target's lock
+        while aggregating, so re-acquiring would self-deadlock).
+        """
+        key = self._dir_index.get(dir_id)
+        if key is None:
+            return  # directory removed concurrently; update is moot
+        take_lock = key not in already_locked
+        lock = self._inode_lock(key)
+        if take_lock:
+            yield from self._acquire(lock, "w")
+        try:
+            yield from self._cpu(self.perf.dir_inode_update_us + self.perf.dir_entry_put_us)
+            delta = self._apply_entry_to_list(dir_id, entry)
+            inode = self.kv.get_or_none(key)
+            if inode is not None:
+                self.kv.put(key, inode.touched(entry.timestamp, delta))
+        finally:
+            if take_lock:
+                lock.release_write()
+
+    def _apply_entry_to_list(self, dir_id: int, entry: ChangeLogEntry) -> int:
+        """Apply one op to the entry list; returns the entry-count delta.
+
+        Presence-aware so that re-application (recovery, duplicated
+        flushes) never corrupts the count.
+        """
+        ekey = dir_entry_key(dir_id, entry.name)
+        present = ekey in self.kv
+        if entry.op.adds_entry:
+            self.kv.put(ekey, DirEntry(is_dir=entry.is_dir, perm=entry.perm))
+            return 0 if present else 1
+        if present:
+            self.kv.delete(ekey)
+            return -1
+        return 0
+
+    # ------------------------------------------------------------------
+    # switch-failure flush (§4.4.2)
+    # ------------------------------------------------------------------
+    def flush_all_changelogs(self) -> Generator:
+        """Send every pending change-log to its directory's owner (switch
+        failure recovery, §4.4.2).  Returns when all are applied."""
+        drained = self.changelogs.drain_all()
+        by_owner: Dict[str, List[Tuple[int, List[ChangeLogEntry]]]] = {}
+        lsns_all: List[int] = []
+        local: List[Tuple[int, List[ChangeLogEntry], Optional[List[int]]]] = []
+        for dir_id, fp, entries, lsns in drained:
+            owner = self.cmap.dir_owner_by_fp(fp)
+            if owner == self.addr:
+                local.append((dir_id, entries, lsns))
+            else:
+                by_owner.setdefault(owner, []).append((dir_id, entries))
+                lsns_all.extend(lsns)
+        if local:
+            yield from self._apply_logs(local)
+            for _d, _e, lsns in local:
+                for lsn in lsns or []:
+                    self.wal.mark_applied_if_present(lsn)
+        for owner, logs in by_owner.items():
+            yield from self._call(owner, "flush_apply", {"logs": logs})
+        for lsn in lsns_all:
+            self.wal.mark_applied_if_present(lsn)
+        return len(drained)
+
+    def _handle_flush_apply(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Switch-failure recovery: another server flushes its change-logs
+        for directories we own; apply them immediately."""
+        args = request.args
+        yield from self._cpu(self.perf.wal_append_us)
+        pulled = [(dir_id, entries, None) for dir_id, entries in args["logs"]]
+        self.wal.append("agg", [(d, e) for d, e, _ in pulled])
+        yield from self._apply_logs(pulled)
+        return {"status": "ok"}

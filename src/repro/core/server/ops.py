@@ -1,0 +1,427 @@
+"""Operation workflows (§4.2): double-inode updates and reads.
+
+* **Double-inode ops** (``create``, ``delete``, ``mkdir``, ``rmdir``)
+  execute entirely on the server owning the *target* object.  The parent
+  directory's update is appended to a local change-log and the response
+  leaves with an ``INSERT`` stale-set header; the switch marks the parent
+  *scattered* and multicasts the response to the client (completion) and
+  back to this server (unlock).  On stale-set overflow the switch
+  redirects the response to the parent's owner, which applies the update
+  synchronously (fallback) before completing the operation.
+
+Read workflows live in :mod:`repro.core.server.reads`.
+
+The deferred-unlock machinery (unlock tokens, the raw-packet tap that
+observes switch multicast copies, and the overflow fallback) lives at
+the bottom: it is the op-side half of the asynchronous-update contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generator, List, Tuple
+
+from ...net import Packet, Reply, RpcRequest, RpcResponse, StaleSetHeader, StaleSetOp
+from ...sim import RWLock
+from ..changelog import ChangeLog, ChangeLogEntry, ChangeOp
+from ..errors import EEXIST, EINVALIDPATH, ENOENT, ENOTEMPTY, FSError
+from ..schema import (
+    DirInode,
+    FileInode,
+    dir_meta_key,
+    file_meta_key,
+    fingerprint_of,
+    new_dir_id,
+)
+
+__all__ = ["ServerOps"]
+
+_unlock_tokens = itertools.count(1)
+
+
+class ServerOps:
+    """Mixin: op workflows over the :class:`ServerRuntime` substrate."""
+
+    # ------------------------------------------------------------------
+    # double-inode operations: create / delete / mkdir / rmdir
+    # ------------------------------------------------------------------
+    def _handle_create(self, request: RpcRequest, packet: Packet) -> Generator:
+        return (yield from self._double_inode_file_op(request, is_create=True))
+
+    def _handle_delete(self, request: RpcRequest, packet: Packet) -> Generator:
+        return (yield from self._double_inode_file_op(request, is_create=False))
+
+    def _double_inode_file_op(self, request: RpcRequest, is_create: bool) -> Generator:
+        """Shared workflow of file ``create``/``delete`` (Figure 4, green)."""
+        args = request.args
+        pid, name = args["pid"], args["name"]
+        parent_fp = args["parent_fp"]
+        yield from self._wait_recovered()
+        yield from self._cpu(self.perf.path_check_us)
+        self._check_valid(args)
+
+        cl_lock = self._changelog_lock(pid)
+        key = file_meta_key(pid, name)
+        klock = self._inode_lock(key)
+        yield from self._acquire(cl_lock, "r")
+        yield from self._acquire(klock, "w")
+        deferred_unlock = False
+        try:
+            yield from self._cpu(self.perf.kv_get_us)
+            exists = key in self.kv
+            if is_create and exists:
+                raise FSError(EEXIST, f"{pid}/{name}")
+            if not is_create and not exists:
+                raise FSError(ENOENT, f"{pid}/{name}")
+
+            yield from self._cpu(self.perf.wal_append_us)
+            now = self.sim.now
+            if is_create:
+                inode = FileInode(
+                    pid=pid, name=name, perm=args.get("perm", 0o644), ctime=now, mtime=now
+                )
+                yield from self._cpu(self.perf.kv_put_us)
+                self.kv.put(key, inode)
+            else:
+                yield from self._cpu(self.perf.kv_put_us)
+                self.kv.delete(key)
+
+            entry = ChangeLogEntry(
+                timestamp=now,
+                op=ChangeOp.CREATE if is_create else ChangeOp.DELETE,
+                name=name,
+                is_dir=False,
+                perm=args.get("perm", 0o644),
+            )
+            if self.config.async_updates:
+                reply = yield from self._finish_async_update(
+                    request, parent_fp, pid, entry, [(klock, "w"), (cl_lock, "r")]
+                )
+                deferred_unlock = reply is not None and reply.header is not None
+                return reply
+            yield from self._apply_parent_sync(pid, parent_fp, entry)
+            return {"status": "ok"}
+        finally:
+            if not deferred_unlock:
+                klock.release_write()
+                cl_lock.release_read()
+
+    def _handle_mkdir(self, request: RpcRequest, packet: Packet) -> Generator:
+        """mkdir executes on the *new directory's* owner server."""
+        args = request.args
+        pid, name = args["pid"], args["name"]
+        parent_fp = args["parent_fp"]
+        yield from self._wait_recovered()
+        yield from self._cpu(self.perf.path_check_us)
+        self._check_valid(args)
+
+        cl_lock = self._changelog_lock(pid)
+        key = dir_meta_key(pid, name)
+        klock = self._inode_lock(key)
+        yield from self._acquire(cl_lock, "r")
+        yield from self._acquire(klock, "w")
+        deferred_unlock = False
+        try:
+            yield from self._cpu(self.perf.kv_get_us)
+            if key in self.kv:
+                raise FSError(EEXIST, f"{pid}/{name}")
+            yield from self._cpu(self.perf.wal_append_us)
+            now = self.sim.now
+            self._dir_nonce += 1
+            inode = DirInode(
+                id=new_dir_id(pid, name, self._dir_nonce),
+                pid=pid,
+                name=name,
+                fingerprint=fingerprint_of(pid, name),
+                perm=args.get("perm", 0o755),
+                ctime=now,
+                mtime=now,
+            )
+            yield from self._cpu(self.perf.kv_put_us)
+            self.kv.put(key, inode)
+            self._dir_index[inode.id] = key
+
+            entry = ChangeLogEntry(
+                timestamp=now, op=ChangeOp.MKDIR, name=name, is_dir=True,
+                perm=args.get("perm", 0o755),
+            )
+            if self.config.async_updates:
+                reply = yield from self._finish_async_update(
+                    request, parent_fp, pid, entry, [(klock, "w"), (cl_lock, "r")]
+                )
+                deferred_unlock = reply is not None and reply.header is not None
+                if isinstance(reply, Reply) and isinstance(reply.value, dict):
+                    reply.value["id"] = inode.id
+                    reply.value["fingerprint"] = inode.fingerprint
+                return reply
+            yield from self._apply_parent_sync(pid, parent_fp, entry)
+            return {"status": "ok", "id": inode.id, "fingerprint": inode.fingerprint}
+        finally:
+            if not deferred_unlock:
+                klock.release_write()
+                cl_lock.release_read()
+
+    def _handle_rmdir(self, request: RpcRequest, packet: Packet) -> Generator:
+        """rmdir: invalidate everywhere, gather scattered updates, check
+        emptiness, then proceed like create (Figure 5)."""
+        args = request.args
+        pid, name = args["pid"], args["name"]
+        dir_id, fp = args["dir_id"], args["fp"]
+        parent_fp = args["parent_fp"]
+        yield from self._wait_recovered()
+        yield from self._cpu(self.perf.path_check_us)
+        self._check_valid(args)
+
+        cl_lock = self._changelog_lock(pid)
+        key = dir_meta_key(pid, name)
+        klock = self._inode_lock(key)
+        yield from self._acquire(cl_lock, "r")
+        yield from self._acquire(klock, "w")
+        deferred_unlock = False
+        invalidated = False
+        try:
+            yield from self._cpu(self.perf.kv_get_us)
+            inode = self.kv.get_or_none(key)
+            if inode is None:
+                raise FSError(ENOENT, f"{pid}/{name}")
+
+            if self.config.async_updates:
+                # Invalidate the directory everywhere and pull its group's
+                # scattered updates (steps 4-6).
+                yield from self._wait_group_unblocked(fp)
+                block = self.sim.event()
+                self._group_blocks[fp] = block
+                try:
+                    others = self.cmap.others(self.addr)
+                    results = yield from self._multicast(
+                        others, "invalidate_and_pull", {"dir_id": dir_id, "fp": fp}
+                    )
+                    self.inval.insert(dir_id)
+                    invalidated = True
+                    local, local_locks = yield from self._drain_local_group(fp)
+                    try:
+                        pulled = self._merge_pulled(results, local)
+                        if pulled:
+                            yield from self._cpu(self.perf.wal_append_us)
+                            self.wal.append("agg", [(d, e) for d, e, _ in pulled])
+                            yield from self._apply_logs(
+                                pulled, already_locked=frozenset([key])
+                            )
+                        self._send_agg_ack(fp, others, results, local)
+                    finally:
+                        for lock in local_locks:
+                            lock.release_write()
+                finally:
+                    del self._group_blocks[fp]
+                    block.succeed()
+
+            inode = self.kv.get(key)  # refreshed by aggregation
+            yield from self._cpu(self.perf.kv_get_us)
+            if inode.entry_count > 0:
+                # Not empty: revert the invalidation so the directory stays
+                # usable, then fail.
+                if invalidated:
+                    self.inval._ids.discard(dir_id)
+                    for other in self.cmap.others(self.addr):
+                        self.node.notify(other, "uninvalidate", {"dir_id": dir_id})
+                raise FSError(ENOTEMPTY, f"{pid}/{name}")
+
+            yield from self._cpu(self.perf.wal_append_us)
+            now = self.sim.now
+            yield from self._cpu(self.perf.kv_put_us)
+            self.kv.delete(key)
+            self._dir_index.pop(dir_id, None)
+
+            entry = ChangeLogEntry(timestamp=now, op=ChangeOp.RMDIR, name=name, is_dir=True)
+            if self.config.async_updates:
+                reply = yield from self._finish_async_update(
+                    request, parent_fp, pid, entry, [(klock, "w"), (cl_lock, "r")]
+                )
+                deferred_unlock = reply is not None and reply.header is not None
+                return reply
+            yield from self._apply_parent_sync(pid, parent_fp, entry)
+            return {"status": "ok"}
+        finally:
+            if not deferred_unlock:
+                klock.release_write()
+                cl_lock.release_read()
+
+    def _finish_async_update(
+        self,
+        request: RpcRequest,
+        parent_fp: int,
+        parent_id: int,
+        entry: ChangeLogEntry,
+        locks: List[Tuple[RWLock, str]],
+    ) -> Generator:
+        """Log the delayed parent update and emit the INSERT response.
+
+        With the switch backend, the locks stay held until the switch's
+        multicast copy of the response returns (the unlock notification),
+        or until the fallback path reports back.  With the server backend
+        the stale-set RPC completes inline and locks release here.
+        """
+        lsn = self.wal.append("changelog", (parent_id, parent_fp, entry))
+        yield from self._cpu(self.perf.changelog_append_us)
+        log = self.changelogs.append(parent_id, parent_fp, entry, lsn, self.sim.now)
+        self.counters.inc("changelog_appends")
+
+        if self.ss is not None:  # stale-set-on-a-server mode (§6.5.2)
+            # The extra RTT to the stale-set server sits on the critical
+            # path here (Figure 16a).  Locks are released by the caller's
+            # finally-block right after we return.
+            ok = yield from self.ss.insert(parent_fp)
+            if not ok:
+                # Fallback: apply the parent update synchronously.
+                self._detach_entry(log, entry, lsn)
+                yield from self._apply_parent_sync(parent_id, parent_fp, entry)
+                self.counters.inc("sync_fallbacks")
+            else:
+                self._maybe_push(log)
+            return Reply(value={"status": "ok"})
+
+        token = next(_unlock_tokens)
+        self._pending_unlocks[token] = {
+            "locks": locks,
+            "log": log,
+            "entry": entry,
+            "lsn": lsn,
+        }
+        if self.config.unlock_watchdog_us:
+            self.sim.spawn(self._unlock_watchdog(token), name="unlock-watchdog")
+        return Reply(
+            value={
+                "status": "ok",
+                "unlock_token": token,
+                "origin": self.addr,
+                "client": request.src,
+                "parent_id": parent_id,
+                "parent_fp": parent_fp,
+                "entry": entry,
+            },
+            header=StaleSetHeader(op=StaleSetOp.INSERT, fingerprint=parent_fp),
+        )
+
+    def _release_locks(self, locks: List[Tuple[RWLock, str]]) -> None:
+        for lock, mode in locks:
+            if mode == "w":
+                lock.release_write()
+            else:
+                lock.release_read()
+
+    def _detach_entry(self, log: ChangeLog, entry: ChangeLogEntry, lsn: int) -> None:
+        """Remove a change-log entry that was applied synchronously."""
+        try:
+            idx = log.entries.index(entry)
+        except ValueError:
+            return  # already drained by a racing aggregation: harmless
+        log.entries.pop(idx)
+        log.wal_lsns.remove(lsn)
+        self.wal.mark_applied_if_present(lsn)
+
+    def _unlock_watchdog(self, token: int) -> Generator:
+        """Release a deferred unlock whose switch notification was lost.
+
+        The insert either succeeded (entry stays in the change-log, to be
+        aggregated normally) or was redirected to the fallback path whose
+        own notification releases the token first — either way holding the
+        locks forever would wedge the directory, so time out and release.
+        """
+        yield self.sim.timeout(self.config.unlock_watchdog_us)
+        if token in self._pending_unlocks:
+            self.counters.inc("unlock_watchdog_fires")
+            self.release_unlock_token(token, applied_sync=False)
+
+    def release_unlock_token(self, token: int, applied_sync: bool) -> bool:
+        """Complete a deferred unlock (switch confirmed insert or fallback).
+
+        Returns False for a duplicate/stale token — the caller's tap then
+        lets the packet through (a self-addressed RPC's response and its
+        unlock copy are byte-identical, and exactly one must reach the
+        dispatcher)."""
+        info = self._pending_unlocks.pop(token, None)
+        if info is None:
+            return False  # duplicate notification
+        self._release_locks(info["locks"])
+        if applied_sync:
+            self._detach_entry(info["log"], info["entry"], info["lsn"])
+            self.counters.inc("sync_fallbacks")
+        else:
+            self._maybe_push(info["log"])
+        return True
+
+    # -- synchronous parent update (baseline / fallback) --------------------
+    def _apply_parent_sync(
+        self, parent_id: int, parent_fp: int, entry: ChangeLogEntry
+    ) -> Generator:
+        """Apply a parent-directory update synchronously (cross-server when
+        the parent lives elsewhere)."""
+        owner = self.cmap.dir_owner_by_fp(parent_fp)
+        if owner == self.addr:
+            yield from self._apply_entry_with_inode_txn(parent_id, entry)
+            return
+        self.counters.inc("cross_server_updates")
+        yield from self._call(
+            owner, "apply_parent_update", {"parent_id": parent_id, "entry": entry}
+        )
+
+    def _handle_apply_parent_update(self, request: RpcRequest, packet: Packet) -> Generator:
+        args = request.args
+        yield from self._cpu(self.perf.txn_phase_us)
+        yield from self._apply_entry_with_inode_txn(args["parent_id"], args["entry"])
+        return {"status": "ok"}
+
+    # ------------------------------------------------------------------
+    # raw-packet tap: unlock notifications and sync fallback (§4.2.1)
+    # ------------------------------------------------------------------
+    def _tap(self, packet: Packet) -> bool:
+        if packet.header is None or packet.header.op != StaleSetOp.INSERT:
+            return False
+        payload = packet.payload
+        if not isinstance(payload, RpcResponse) or not isinstance(payload.value, dict):
+            return False
+        value = payload.value
+        if "unlock_token" not in value:
+            return False
+        if packet.header.ret == 1:
+            # The switch's multicast copy back to us: insert confirmed.
+            # Consume exactly one copy per token — for self-addressed RPCs
+            # (mark_entry) the other, identical copy must reach the
+            # dispatcher to complete the call.
+            if value.get("origin") == self.addr:
+                return self.release_unlock_token(value["unlock_token"], applied_sync=False)
+            return False
+        # RET == 0: overflow redirect — we are the parent's owner and must
+        # apply the update synchronously, then complete the operation.
+        self.sim.spawn(self._sync_fallback(payload, packet), name=f"fallback-{self.addr}")
+        return True
+
+    def _sync_fallback(self, response: RpcResponse, packet: Packet) -> Generator:
+        value = response.value
+        yield from self._apply_entry_with_inode_txn(value["parent_id"], value["entry"])
+        # Forward the (now fulfilled) response to the client.
+        self.node.net.send(
+            Packet(
+                src=self.addr,
+                dst=value["client"],
+                payload=RpcResponse(rpc_id=response.rpc_id, value={"status": "ok"}),
+            )
+        )
+        origin = value["origin"]
+        if origin == self.addr:
+            self.release_unlock_token(value["unlock_token"], applied_sync=True)
+        else:
+            self.node.notify(origin, "unlock_fallback", {"token": value["unlock_token"]})
+        self.counters.inc("fallback_applied")
+
+    def _handle_unlock_fallback(self, request: RpcRequest, packet: Packet) -> Generator:
+        yield from self._cpu(self.perf.changelog_append_us)
+        self.release_unlock_token(request.args["token"], applied_sync=True)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _check_valid(self, args: Dict[str, Any]) -> None:
+        """Server-side validation check (step 3a)."""
+        if not self.inval.validate(args.get("ancestor_ids", ())):
+            raise FSError(EINVALIDPATH, args.get("path", "?"))

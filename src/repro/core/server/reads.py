@@ -1,0 +1,142 @@
+"""Read workflows (§4.2.2): directory reads, single-inode reads, and the
+raw reads the rename coordinator uses.
+
+Directory reads (``statdir``/``readdir``) arrive with a ``QUERY``
+stale-set header whose RET bit the switch filled in (or, with the
+server backend, after an explicit stale-set query).  A *scattered*
+directory triggers a metadata aggregation — see
+:mod:`repro.core.server.aggregation` — before the inode is served, so
+every read observes all completed updates (Property 1).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ...net import Packet, RpcRequest
+from ..errors import ENOENT, FSError
+from ..schema import dir_meta_key, file_meta_key
+
+__all__ = ["ReadOps"]
+
+
+class ReadOps:
+    """Mixin: read-side RPC handlers."""
+
+    # ------------------------------------------------------------------
+    # directory reads: statdir / readdir (Figure 4, orange)
+    # ------------------------------------------------------------------
+    def _handle_statdir(self, request: RpcRequest, packet: Packet) -> Generator:
+        inode = yield from self._read_dir_inode(request, packet)
+        return {
+            "id": inode.id,
+            "mtime": inode.mtime,
+            "entry_count": inode.entry_count,
+            "perm": inode.perm,
+        }
+
+    def _handle_readdir(self, request: RpcRequest, packet: Packet) -> Generator:
+        inode = yield from self._read_dir_inode(request, packet)
+        names = [key[2] for key, _ in self.kv.scan_prefix(("E", inode.id))]
+        yield from self._cpu(self.perf.readdir_per_entry_us * max(1, len(names)))
+        return {"id": inode.id, "entries": names, "entry_count": inode.entry_count}
+
+    def _read_dir_inode(self, request: RpcRequest, packet: Packet) -> Generator:
+        args = request.args
+        pid, name, fp = args["pid"], args["name"], args["fp"]
+        yield from self._wait_recovered()
+        yield from self._cpu(self.perf.path_check_us)
+        self._check_valid(args)
+
+        # Directory state comes from the switch (RET bit on the request) or
+        # from an explicit stale-set-server query.
+        if self.ss is not None:
+            scattered = yield from self.ss.query(fp)
+        else:
+            scattered = bool(packet.header is not None and packet.header.ret)
+
+        # Checking for in-flight aggregations on the group costs a little
+        # even in the common (normal-state) case — the statdir premium the
+        # paper reports in §6.2.2.
+        yield from self._cpu(self.perf.agg_check_us)
+        yield from self._wait_group_unblocked(fp)
+        if scattered:
+            self.counters.inc("read_triggered_aggregations")
+            yield from self._aggregate_group(fp)
+
+        key = dir_meta_key(pid, name)
+        lock = self._inode_lock(key)
+        yield from self._acquire(lock, "r")
+        try:
+            yield from self._cpu(self.perf.kv_get_us)
+            inode = self.kv.get_or_none(key)
+            if inode is None:
+                raise FSError(ENOENT, f"{pid}/{name}")
+            return inode
+        finally:
+            lock.release_read()
+
+    # ------------------------------------------------------------------
+    # single-inode operations
+    # ------------------------------------------------------------------
+    def _handle_stat(self, request: RpcRequest, packet: Packet) -> Generator:
+        return (yield from self._read_file_inode(request))
+
+    def _handle_open(self, request: RpcRequest, packet: Packet) -> Generator:
+        return (yield from self._read_file_inode(request))
+
+    def _handle_close(self, request: RpcRequest, packet: Packet) -> Generator:
+        yield from self._wait_recovered()
+        yield from self._cpu(self.perf.path_check_us)
+        return {"status": "ok"}
+
+    def _read_file_inode(self, request: RpcRequest) -> Generator:
+        args = request.args
+        pid, name = args["pid"], args["name"]
+        yield from self._wait_recovered()
+        yield from self._cpu(self.perf.path_check_us)
+        self._check_valid(args)
+        key = file_meta_key(pid, name)
+        lock = self._inode_lock(key)
+        yield from self._acquire(lock, "r")
+        try:
+            yield from self._cpu(self.perf.kv_get_us)
+            inode = self.kv.get_or_none(key)
+            if inode is None:
+                raise FSError(ENOENT, f"{pid}/{name}")
+            return {
+                "pid": inode.pid,
+                "name": inode.name,
+                "perm": inode.perm,
+                "size": inode.size,
+                "mtime": inode.mtime,
+            }
+        finally:
+            lock.release_read()
+
+    def _handle_lookup_dir(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Path-resolution lookup: directory id + permissions by (pid, name)."""
+        args = request.args
+        pid, name = args["pid"], args["name"]
+        yield from self._wait_recovered()
+        yield from self._cpu(self.perf.kv_get_us)
+        inode = self.kv.get_or_none(dir_meta_key(pid, name))
+        if inode is None:
+            raise FSError(ENOENT, f"{pid}/{name}")
+        return {"id": inode.id, "fingerprint": inode.fingerprint, "perm": inode.perm}
+
+    def _handle_read_inode(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Raw inode read used by the rename coordinator."""
+        args = request.args
+        yield from self._cpu(self.perf.kv_get_us)
+        inode = self.kv.get_or_none(tuple(args["key"]))
+        if inode is None:
+            raise FSError(ENOENT, str(args["key"]))
+        return {"inode": inode}
+
+    def _handle_read_inode_scan(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Prefix scan used by the rename coordinator to migrate entry lists."""
+        prefix = tuple(request.args["prefix"])
+        items = list(self.kv.scan_prefix(prefix))
+        yield from self._cpu(self.perf.readdir_per_entry_us * max(1, len(items)))
+        return {"items": [(list(k), v) for k, v in items]}

@@ -1,0 +1,130 @@
+"""Rename participant (§4.2): the server side of the distributed
+rename transaction.
+
+The coordinator logic lives in :mod:`repro.core.rename`; this mixin is
+the participant — lock one key in global order (round 1), apply the
+commit's KV ops and deferred parent fix-ups (round 2), or abort.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from ...net import Packet, RpcRequest
+from ...sim import AllOf
+from ..changelog import ChangeLogEntry, ChangeOp
+
+__all__ = ["RenameParticipant"]
+
+
+class RenameParticipant:
+    """Mixin: rename coordinator entry point + 2PC participant handlers."""
+
+    def _handle_rename(self, request: RpcRequest, packet: Packet) -> Generator:
+        from ..rename import run_rename  # local import: avoids module cycle
+
+        return (yield from run_rename(self, request.args))
+
+    def _handle_rename_lock(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Rename round 1: write-lock one key (+ optional check and read).
+
+        The coordinator issues these in a single global key order across
+        all participants, so concurrent renames can never deadlock on
+        each other.  Folding the existence check (``expect``) and the
+        inode read (``want_inode``) into the lock acquisition saves the
+        extra round trips a separate prepare/check phase would cost.
+        """
+        args = request.args
+        yield from self._cpu(self.perf.txn_phase_us)
+        key = tuple(args["key"])
+        lock = self._inode_lock(key)
+        yield from self._acquire(lock, "w")
+        txn_id = args["txn_id"]
+        self._rename_locks = getattr(self, "_rename_locks", {})
+        self._rename_locks.setdefault(txn_id, []).append(lock)
+        result: Dict[str, Any] = {"vote": True}
+        if "expect" in args:
+            exists = key in self.kv
+            if exists != args["expect"]:
+                result = {"vote": False, "key": list(key), "exists": exists}
+        if result["vote"] and args.get("want_inode"):
+            result["inode"] = self.kv.get_or_none(key)
+        return result
+
+    def _handle_mark_entry(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Append a deferred parent-directory update on behalf of a rename.
+
+        A file rename's parent fix-ups take the same asynchronous path as
+        create/delete: the committing server appends the entry to its
+        local change-log and the response's INSERT header marks the
+        parent scattered (with the usual overflow fallback).  Appending on
+        the *same server* that holds any pending entry for the same name
+        preserves per-name application order.
+        """
+        args = request.args
+        return (
+            yield from self._finish_async_update(
+                request, args["parent_fp"], args["parent_id"], args["entry"], locks=[]
+            )
+        )
+
+    def _handle_rename_commit(self, request: RpcRequest, packet: Packet) -> Generator:
+        args = request.args
+        yield from self._cpu(self.perf.txn_phase_us + self.perf.wal_append_us)
+        txn = self.kv.transaction()
+        for op in args["ops"]:
+            kind, key, value = op
+            if kind == "put":
+                txn.put(tuple(key), value)
+            elif kind == "delete":
+                txn.delete(tuple(key))
+        txn.commit()
+        # Deferred parent updates (file renames, async mode): appended via
+        # a self-RPC whose response performs the stale-set INSERT.  The
+        # commit completes only once the parents are marked scattered, so
+        # the rename's effects are visible to any later directory read.
+        async_entries = args.get("async_entries", [])
+        if async_entries:
+            marks = [
+                self.sim.spawn(
+                    self.node.call(
+                        self.addr, "mark_entry",
+                        {"parent_id": pid, "parent_fp": fp, "entry": entry},
+                        timeout_us=self.perf.rpc_timeout_us,
+                        max_attempts=self.perf.rpc_max_attempts,
+                    ),
+                    name="mark-entry",
+                )
+                for pid, fp, entry in async_entries
+            ]
+            yield AllOf(self.sim, marks)
+        # Presence-aware parent fix-ups: entry list + inode touch.
+        for parent_key, parent_id, name, add, is_dir, ts in args.get("entry_ops", []):
+            yield from self._cpu(self.perf.dir_inode_update_us + self.perf.dir_entry_put_us)
+            entry = ChangeLogEntry(
+                timestamp=ts,
+                op=ChangeOp.CREATE if add else ChangeOp.DELETE,
+                name=name,
+                is_dir=is_dir,
+            )
+            delta = self._apply_entry_to_list(parent_id, entry)
+            key = tuple(parent_key)
+            inode = self.kv.get_or_none(key)
+            if inode is not None:
+                self.kv.put(key, inode.touched(ts, delta))
+        for dir_id, key in args.get("dir_index", []):
+            self._dir_index[dir_id] = tuple(key)
+        for dir_id in args.get("dir_index_drop", []):
+            self._dir_index.pop(dir_id, None)
+        self._release_rename_locks(args["txn_id"])
+        return {"status": "ok"}
+
+    def _handle_rename_abort(self, request: RpcRequest, packet: Packet) -> Generator:
+        yield from self._cpu(self.perf.txn_phase_us)
+        self._release_rename_locks(request.args["txn_id"])
+        return {"status": "ok"}
+
+    def _release_rename_locks(self, txn_id: int) -> None:
+        locks = getattr(self, "_rename_locks", {}).pop(txn_id, [])
+        for lock in locks:
+            lock.release_write()

@@ -1,0 +1,175 @@
+"""The layer every metadata server — SwitchFS *and* baselines — runs on.
+
+The paper's fair-comparison methodology ("IndexFS, CFS-KV and AsyncFS
+have the same storage and networking framework", §6.1) is realised here:
+:class:`ServerRuntime` owns the substrate a metadata server needs —
+
+* an :class:`~repro.net.RpcNode` endpoint with bulk handler registration,
+* the KV store + WAL pair (the RocksDB stand-in),
+* a pool of CPU cores with service-time accounting,
+* the inode lock table,
+* the recovery gate that blocks operations while a server rebuilds
+  state after a crash (§4.4.2),
+
+so :class:`~repro.core.server.MetadataServer` and the baselines'
+``SyncMetadataServer`` differ only in their *metadata scheme*, never in
+the substrate.  Throughput/latency differences between systems therefore
+come from the protocols, not from divergent engineering — exactly the
+property the evaluation relies on.
+
+Every substrate primitive doubles as an instrumentation hook: CPU
+charges record ``queue``/``cpu`` time, lock acquisitions record ``lock``
+wait, nested RPCs record ``net`` wait — accumulated per server in
+:class:`~repro.sim.PhaseStats` (``self.phases``) so latency breakdowns
+read measured data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ...kvstore import KVStore
+from ...net import RpcNode
+from ...net.topology import Network
+from ...sim import Counter, Event, PhaseStats, Resource, RWLock, Simulator
+from ..config import FSConfig
+from ..schema import dir_meta_key, root_inode
+
+__all__ = ["ServerRuntime"]
+
+
+class ServerRuntime:
+    """CPU / lock / RPC / recovery-gate substrate shared by every server."""
+
+    def __init__(self, sim: Simulator, net: Network, addr: str, config: FSConfig):
+        self.sim = sim
+        self.addr = addr
+        self.config = config
+        self.perf = config.perf
+        self.node = RpcNode(sim, net, addr)
+        self.kv = KVStore()
+        self.wal = self.kv.wal  # one shared WAL per server
+        self.cores = Resource(sim, config.cores_per_server)
+        self.counters = Counter()
+        self.phases = PhaseStats()
+        self._inode_locks: Dict[Tuple, RWLock] = {}
+        # Maps a directory id to its inode key (entry-list application,
+        # rename fix-ups, recovery rebuild all resolve through this).
+        self._dir_index: Dict[int, Tuple] = {}
+        self._recovered_ev: Optional[Event] = None  # set while recovering
+
+    # ------------------------------------------------------------------
+    # RPC plumbing
+    # ------------------------------------------------------------------
+    def register_handlers(self, handlers: Dict[str, Callable]) -> None:
+        """Install RPC handlers in bulk (method name -> generator handler)."""
+        for method, handler in handlers.items():
+            self.node.register(method, handler)
+
+    def _call(
+        self,
+        dst: str,
+        method: str,
+        args: Any,
+        timeout_us: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+    ) -> Generator:
+        """Nested RPC with the perf model's timeout/retry policy.
+
+        Returns the response *value* and records the call's wall time as
+        ``net`` phase wait.
+        """
+        t0 = self.sim.now
+        try:
+            value, _ = yield from self.node.call(
+                dst, method, args,
+                timeout_us=timeout_us if timeout_us is not None else self.perf.rpc_timeout_us,
+                max_attempts=max_attempts if max_attempts is not None
+                else self.perf.rpc_max_attempts,
+            )
+            return value
+        finally:
+            self.phases.add("net", self.sim.now - t0)
+
+    def _multicast(self, dsts: List[str], method: str, args: Any) -> Generator:
+        """Multicast RPC to *dsts*; returns values in order (``net`` phase)."""
+        t0 = self.sim.now
+        try:
+            results = yield from self.node.multicast_call(
+                dsts, method, args,
+                timeout_us=self.perf.rpc_timeout_us,
+                max_attempts=self.perf.rpc_max_attempts,
+            )
+            return results
+        finally:
+            self.phases.add("net", self.sim.now - t0)
+
+    # ------------------------------------------------------------------
+    # service-time accounting
+    # ------------------------------------------------------------------
+    def _cpu(self, us: float) -> Generator:
+        """Charge *us* microseconds of CPU on one of this server's cores.
+
+        Time spent waiting for a free core is recorded as ``queue``, the
+        core-hold time as ``cpu``.
+        """
+        t0 = self.sim.now
+        yield self.cores.acquire()
+        acquired = self.sim.now
+        try:
+            yield self.sim.timeout(us * self.perf.stack_multiplier)
+        finally:
+            self.cores.release()
+            self.phases.add("queue", acquired - t0)
+            self.phases.add("cpu", self.sim.now - acquired)
+
+    def _net_penalty(self) -> Generator:
+        """Extra per-message software cost (kernel-networking baselines)."""
+        if self.perf.extra_net_us:
+            yield from self._cpu(self.perf.extra_net_us)
+
+    # ------------------------------------------------------------------
+    # locks
+    # ------------------------------------------------------------------
+    def _inode_lock(self, key: Tuple) -> RWLock:
+        lock = self._inode_locks.get(key)
+        if lock is None:
+            lock = RWLock(self.sim)
+            self._inode_locks[key] = lock
+        return lock
+
+    def _acquire(self, lock: RWLock, mode: str) -> Generator:
+        """Acquire *lock* (``"r"``/``"w"``), recording ``lock`` wait time."""
+        t0 = self.sim.now
+        yield lock.acquire_write() if mode == "w" else lock.acquire_read()
+        self.phases.add("lock", self.sim.now - t0)
+
+    # ------------------------------------------------------------------
+    # recovery gate (§4.4.2: operations block while a server recovers)
+    # ------------------------------------------------------------------
+    def _wait_recovered(self) -> Generator:
+        if self._recovered_ev is not None:
+            yield self._recovered_ev
+
+    def begin_recovery(self) -> None:
+        """Block new operations until :meth:`end_recovery`."""
+        if self._recovered_ev is None:
+            self._recovered_ev = self.sim.event()
+
+    def end_recovery(self) -> None:
+        if self._recovered_ev is not None:
+            self._recovered_ev.succeed()
+            self._recovered_ev = None
+
+    @property
+    def recovering(self) -> bool:
+        return self._recovered_ev is not None
+
+    # ------------------------------------------------------------------
+    # bootstrap
+    # ------------------------------------------------------------------
+    def install_root_inode(self) -> None:
+        """Install the root inode (WAL-logged so it survives crash+replay)."""
+        root = root_inode()
+        self.kv.put(dir_meta_key(root.pid, root.name), root)
+        self._dir_index[root.id] = dir_meta_key(root.pid, root.name)

@@ -1,9 +1,15 @@
-"""Exceptions for the key-value storage engine."""
+"""Exceptions for the key-value storage engine.
 
-__all__ = ["KVError", "KeyNotFound", "TransactionError"]
+All descend from :class:`repro.errors.ReproError`, the reproduction's
+common exception root (re-exported here for convenience).
+"""
+
+from ..errors import ReproError
+
+__all__ = ["ReproError", "KVError", "KeyNotFound", "TransactionError"]
 
 
-class KVError(Exception):
+class KVError(ReproError):
     """Base class for storage-engine errors."""
 
 

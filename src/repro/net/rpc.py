@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
+from ..errors import ReproError
 from ..sim import AllOf, Event, Simulator
 from .packet import Packet, REGULAR_PORT, STALESET_PORT, StaleSetHeader
 from .topology import Network
@@ -29,7 +30,7 @@ from .topology import Network
 __all__ = ["RpcRequest", "RpcResponse", "Reply", "RpcError", "RpcTimeout", "RpcNode"]
 
 
-class RpcError(Exception):
+class RpcError(ReproError):
     """An application-level error returned by the remote handler."""
 
 

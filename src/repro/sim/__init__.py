@@ -19,7 +19,7 @@ from .kernel import (
 )
 from .rand import ZipfGenerator, make_rng, weighted_choice
 from .resources import Lock, Resource, RWLock, Store
-from .stats import Counter, LatencyRecorder, ThroughputMeter, percentile
+from .stats import Counter, LatencyRecorder, PhaseStats, ThroughputMeter, percentile
 
 __all__ = [
     "Simulator",
@@ -35,6 +35,7 @@ __all__ = [
     "RWLock",
     "Store",
     "LatencyRecorder",
+    "PhaseStats",
     "ThroughputMeter",
     "Counter",
     "percentile",

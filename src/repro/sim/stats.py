@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional
 
-__all__ = ["LatencyRecorder", "ThroughputMeter", "Counter", "percentile"]
+__all__ = ["LatencyRecorder", "PhaseStats", "ThroughputMeter", "Counter", "percentile"]
 
 
 def percentile(samples: List[float], q: float) -> float:
@@ -108,6 +108,55 @@ class ThroughputMeter:
         if elapsed_us <= 0:
             raise ValueError(f"empty throughput window: {elapsed_us}")
         return self._count / (elapsed_us / 1e6)
+
+
+class PhaseStats:
+    """Per-phase service-time accumulators for one server.
+
+    The server runtime records how long requests spend in each execution
+    phase — ``queue`` (waiting for a CPU core), ``cpu`` (holding a core),
+    ``lock`` (waiting for an inode/change-log lock), and ``net`` (waiting
+    on a nested RPC) — so latency breakdowns (Fig 2(b), Fig 15) read
+    measured hook data instead of reconstructing shares from the
+    performance-model constants.  Durations are virtual microseconds.
+    """
+
+    PHASES = ("queue", "cpu", "lock", "net")
+
+    def __init__(self):
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    def add(self, phase: str, us: float) -> None:
+        if us < 0:
+            raise ValueError(f"negative phase duration: {phase}={us}")
+        self._totals[phase] = self._totals.get(phase, 0.0) + us
+        self._counts[phase] = self._counts.get(phase, 0) + 1
+
+    def total(self, phase: str) -> float:
+        return self._totals.get(phase, 0.0)
+
+    def count(self, phase: str) -> int:
+        return self._counts.get(phase, 0)
+
+    def mean(self, phase: str) -> float:
+        n = self._counts.get(phase, 0)
+        return self._totals.get(phase, 0.0) / n if n else 0.0
+
+    def phases(self) -> Iterable[str]:
+        return self._totals.keys()
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+    def merge(self, other: "PhaseStats") -> None:
+        for phase, total in other._totals.items():
+            self._totals[phase] = self._totals.get(phase, 0.0) + total
+            self._counts[phase] = self._counts.get(phase, 0) + other._counts[phase]
+
+    def clear(self) -> None:
+        self._totals.clear()
+        self._counts.clear()
 
 
 class Counter:

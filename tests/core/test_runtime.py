@@ -1,0 +1,202 @@
+"""Tests for the shared server runtime substrate (ServerRuntime),
+the phase instrumentation, the unified error hierarchy, and the
+AsyncFS-terminology aliases."""
+
+import pytest
+
+import repro
+from repro.baselines import BaselineCluster, SyncMetadataServer
+from repro.baselines.common import PerFilePartition
+from repro.core import FSConfig, MetadataServer, ServerRuntime, SwitchFSCluster
+from repro.errors import ReproError
+from repro.sim import PhaseStats
+
+
+def switchfs(**overrides):
+    defaults = dict(num_servers=2, cores_per_server=2, seed=9)
+    defaults.update(overrides)
+    return SwitchFSCluster(FSConfig(**defaults))
+
+
+def baseline(**overrides):
+    defaults = dict(num_servers=2, cores_per_server=2, seed=9)
+    defaults.update(overrides)
+    return BaselineCluster(FSConfig(**defaults), partition_cls=PerFilePartition)
+
+
+class TestSharedRuntime:
+    def test_both_server_types_are_runtime_instances(self):
+        sw = switchfs()
+        bl = baseline()
+        assert isinstance(sw.servers[0], ServerRuntime)
+        assert isinstance(bl.servers[0], ServerRuntime)
+
+    def test_substrate_methods_are_shared_not_overridden(self):
+        # The fair-comparison property (§6.1): CPU accounting, lock
+        # acquisition, and RPC plumbing are the same code object for
+        # SwitchFS and the baselines, not parallel implementations.
+        for method in ("_cpu", "_acquire", "_call", "_inode_lock",
+                       "_net_penalty", "_wait_recovered"):
+            assert getattr(MetadataServer, method) is getattr(ServerRuntime, method)
+            assert getattr(SyncMetadataServer, method) is getattr(ServerRuntime, method)
+
+    def test_cpu_serializes_on_one_core(self):
+        cluster = switchfs(num_servers=1, cores_per_server=1)
+        server = cluster.servers[0]
+        sim = cluster.sim
+
+        def burn():
+            yield from server._cpu(10.0)
+
+        t0 = sim.now
+        p1 = sim.spawn(burn(), name="b1")
+        p2 = sim.spawn(burn(), name="b2")
+        sim.run_process(p1)
+        sim.run_process(p2)
+        expected = 2 * 10.0 * server.perf.stack_multiplier
+        assert sim.now - t0 == pytest.approx(expected)
+        # The second burst's core wait landed in the queue phase.
+        assert server.phases.total("queue") == pytest.approx(
+            10.0 * server.perf.stack_multiplier
+        )
+        assert server.phases.total("cpu") == pytest.approx(expected)
+
+    def test_recovery_gate_blocks_baseline_ops_too(self):
+        cluster = baseline()
+        fs = cluster.client(0)
+        cluster.run_op(fs.create("/f"))
+        for server in cluster.servers:
+            server.begin_recovery()
+            assert server.recovering
+        done = []
+
+        def op():
+            value = yield from fs.stat("/f")
+            done.append(value)
+
+        cluster.sim.spawn(op(), name="op")
+        cluster.run(until=cluster.sim.now + 500.0)
+        assert not done  # gated
+        for server in cluster.servers:
+            server.end_recovery()
+            assert not server.recovering
+        cluster.run(until=cluster.sim.now + 2_000.0)
+        assert done
+
+    def test_lock_wait_recorded_as_lock_phase(self):
+        cluster = switchfs(num_servers=1)
+        server = cluster.servers[0]
+        sim = cluster.sim
+        lock = server._inode_lock(("F", 0, "x"))
+
+        def holder():
+            yield from server._acquire(lock, "w")
+            yield sim.timeout(50.0)
+            lock.release_write()
+
+        def waiter():
+            yield from server._acquire(lock, "w")
+            lock.release_write()
+
+        p1 = sim.spawn(holder(), name="h")
+        p2 = sim.spawn(waiter(), name="w")
+        sim.run_process(p1)
+        sim.run_process(p2)
+        assert server.phases.total("lock") == pytest.approx(50.0)
+
+
+class TestPhaseStats:
+    def test_accumulates_and_means(self):
+        ps = PhaseStats()
+        ps.add("cpu", 2.0)
+        ps.add("cpu", 4.0)
+        ps.add("net", 1.0)
+        assert ps.total("cpu") == pytest.approx(6.0)
+        assert ps.count("cpu") == 2
+        assert ps.mean("cpu") == pytest.approx(3.0)
+        assert ps.total("lock") == 0.0
+        assert ps.mean("lock") == 0.0
+
+    def test_negative_sample_rejected(self):
+        ps = PhaseStats()
+        with pytest.raises(ValueError):
+            ps.add("cpu", -0.1)
+
+    def test_merge_and_clear(self):
+        a, b = PhaseStats(), PhaseStats()
+        a.add("cpu", 1.0)
+        b.add("cpu", 2.0)
+        b.add("queue", 3.0)
+        a.merge(b)
+        assert a.total("cpu") == pytest.approx(3.0)
+        assert a.count("cpu") == 2
+        assert a.total("queue") == pytest.approx(3.0)
+        a.clear()
+        assert a.as_dict() == {}
+
+    def test_servers_record_phases_during_ops(self):
+        cluster = switchfs()
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        cluster.run_op(fs.create("/d/f"))
+        total_cpu = sum(s.phases.total("cpu") for s in cluster.servers)
+        assert total_cpu > 0.0
+
+
+class TestErrorHierarchy:
+    def test_fs_and_kv_errors_share_the_root(self):
+        from repro.core.errors import FSError
+        from repro.kvstore.errors import KeyNotFound, KVError
+        from repro.net import RpcError
+
+        assert issubclass(RpcError, ReproError)
+        assert issubclass(FSError, RpcError)
+        assert issubclass(FSError, ReproError)
+        assert issubclass(KVError, ReproError)
+        assert issubclass(KeyNotFound, KVError)
+
+    def test_reexports_resolve_to_canonical_classes(self):
+        import repro.errors as errors
+        from repro.core.errors import FSError
+        from repro.kvstore.errors import KeyNotFound
+        from repro.net import RpcError
+
+        assert errors.RpcError is RpcError
+        assert errors.FSError is FSError
+        assert errors.KeyNotFound is KeyNotFound
+        with pytest.raises(AttributeError):
+            errors.NoSuchError
+
+    def test_one_except_catches_every_layer(self):
+        from repro.core.errors import ENOENT, FSError
+        from repro.kvstore.errors import KeyNotFound
+
+        for exc in (FSError(ENOENT, "x"), KeyNotFound("k")):
+            try:
+                raise exc
+            except ReproError:
+                pass
+
+
+class TestAsyncFSAliases:
+    def test_aliases_resolve_to_switchfs_classes(self):
+        from repro.core import LibFS
+
+        assert repro.AsyncFSCluster is SwitchFSCluster
+        assert repro.AsyncFSServer is MetadataServer
+        assert repro.AsyncFSClient is LibFS
+        assert repro.AsyncFSConfig is FSConfig
+        assert repro.AsyncFSRuntime is ServerRuntime
+
+    def test_alias_cluster_runs_ops(self):
+        cluster = repro.AsyncFSCluster(repro.AsyncFSConfig(num_servers=2, seed=3))
+        fs = cluster.client(0)
+        assert cluster.run_op(fs.mkdir("/x"))["status"] == "ok"
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.AsyncFSNope
+
+    def test_dir_lists_aliases(self):
+        listing = dir(repro)
+        assert "AsyncFSCluster" in listing

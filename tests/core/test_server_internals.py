@@ -1,7 +1,5 @@
 """White-box tests of MetadataServer internals."""
 
-import pytest
-
 from repro.core import (
     ChangeLogEntry,
     ChangeOp,
@@ -186,3 +184,103 @@ class TestRecoveryBlocksOps:
             server.end_recovery()
         cluster.run(until=cluster.sim.now + 2_000.0)
         assert done
+
+
+class TestDoubleInodeLockDiscipline:
+    """Characterization: the double-inode flow's lock acquisition order.
+
+    Create/delete/mkdir/rmdir take the parent's change-log READ lock
+    first, then the target inode's WRITE lock (ops.py).  Aggregation
+    takes change-log WRITE locks, so this ordering is what lets updates
+    of one directory proceed concurrently while an aggregation drains
+    the log exclusively.  A reordering would be a protocol change.
+    """
+
+    def test_create_acquires_changelog_read_before_inode_write(self):
+        cluster = make(num_servers=1, proactive_enabled=False)
+        server = cluster.servers[0]
+        fs = cluster.client(0)
+        d_id = cluster.run_op(fs.mkdir("/d"))["id"]
+
+        order = []
+        orig_acquire = server._acquire
+
+        def recording(lock, mode):
+            order.append((lock, mode))
+            return orig_acquire(lock, mode)
+
+        server._acquire = recording
+        try:
+            cluster.run_op(fs.create("/d/f"))
+        finally:
+            server._acquire = orig_acquire
+
+        from repro.core import file_meta_key
+
+        cl_lock = server._changelog_lock(d_id)
+        inode_lock = server._inode_lock(file_meta_key(d_id, "f"))
+        assert (cl_lock, "r") in order
+        assert (inode_lock, "w") in order
+        assert order.index((cl_lock, "r")) < order.index((inode_lock, "w"))
+
+    def test_mkdir_uses_same_discipline(self):
+        cluster = make(num_servers=1, proactive_enabled=False)
+        server = cluster.servers[0]
+        fs = cluster.client(0)
+        d_id = cluster.run_op(fs.mkdir("/d"))["id"]
+
+        order = []
+        orig_acquire = server._acquire
+
+        def recording(lock, mode):
+            order.append((lock, mode))
+            return orig_acquire(lock, mode)
+
+        server._acquire = recording
+        try:
+            cluster.run_op(fs.mkdir("/d/sub"))
+        finally:
+            server._acquire = orig_acquire
+
+        from repro.core import dir_meta_key
+
+        cl_lock = server._changelog_lock(d_id)
+        inode_lock = server._inode_lock(dir_meta_key(d_id, "sub"))
+        assert order.index((cl_lock, "r")) < order.index((inode_lock, "w"))
+
+
+class TestUnlockTokenLifecycle:
+    """Characterization: deferred-unlock tokens drain and locks release."""
+
+    def test_tokens_drain_after_completed_ops(self):
+        cluster = make(proactive_enabled=False)
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/d"))
+        for i in range(4):
+            cluster.run_op(fs.create(f"/d/f{i}"))
+        # The switch's multicast copy released every token; nothing
+        # pending, no lock still held anywhere.
+        for server in cluster.servers:
+            assert not server._pending_unlocks
+            for lock in server._inode_locks.values():
+                assert not lock.write_locked
+            for lock in server._changelog_locks.values():
+                assert not lock.write_locked and lock.readers == 0
+
+    def test_release_returns_true_then_false(self):
+        from repro.sim import RWLock
+
+        cluster = make(proactive_enabled=False)
+        server = cluster.servers[0]
+        lock = RWLock(cluster.sim)
+        cluster.sim.run_process(cluster.sim.spawn(_acquire(lock), name="acq"))
+        log = server.changelogs.log_for(3, fingerprint_of(ROOT_ID, "q"))
+        server._pending_unlocks[123] = {
+            "locks": [(lock, "w")], "log": log,
+            "entry": ChangeLogEntry(1.0, ChangeOp.CREATE, "q"), "lsn": 0,
+        }
+        assert server.release_unlock_token(123, applied_sync=False) is True
+        assert not lock.write_locked  # the deferred unlock released it
+        # A duplicate (the other multicast copy) is refused, so exactly
+        # one copy is consumed per token.
+        assert server.release_unlock_token(123, applied_sync=False) is False
