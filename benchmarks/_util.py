@@ -14,9 +14,15 @@ reproduction target, as recorded in EXPERIMENTS.md.
 from __future__ import annotations
 
 import os
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence
 
-from repro.bench import RunResult, format_table, make_cluster, run_stream, scaled_config
+from repro.bench import (
+    RunResult,
+    SweepPool,
+    make_cluster,
+    run_stream,
+    scaled_config,
+)
 from repro.workloads import (
     FixedOpStream,
     Population,
@@ -55,6 +61,44 @@ def measure_fixed_op(
     stream = FixedOpStream(op, population, seed=seed, dir_choice=dir_choice)
     return run_stream(cluster, stream, total_ops=total_ops, inflight=inflight,
                       op_label=op)
+
+
+def resolve_population(spec: Sequence) -> Population:
+    """Build a population from a picklable spec tuple.
+
+    Sweep points cross process boundaries, so they carry ``("single",
+    files)`` or ``("multi", dirs, files)`` instead of a factory closure.
+    """
+    kind = spec[0]
+    if kind == "single":
+        return single_large_directory(*spec[1:])
+    if kind == "multi":
+        return multiple_directories(*spec[1:])
+    raise ValueError(f"unknown population spec {spec!r}")
+
+
+def measure_point(point: dict) -> RunResult:
+    """Picklable sweep worker: one benchmark point described by a dict.
+
+    The dict holds ``measure_fixed_op`` keywords, with ``population`` as a
+    spec tuple for :func:`resolve_population`.  Each point carries its own
+    seed, so points are independent and order-insensitive.
+    """
+    kwargs = dict(point)
+    spec = kwargs.pop("population")
+    return measure_fixed_op(
+        kwargs.pop("system"), kwargs.pop("op"),
+        population_factory=lambda: resolve_population(spec), **kwargs,
+    )
+
+
+def run_points(points: Sequence[dict], serial: Optional[bool] = None) -> List[RunResult]:
+    """Fan independent benchmark points across cores; results in input order.
+
+    Serial escape hatches for debugging: ``pytest benchmarks/ --serial``
+    or ``REPRO_SWEEP_SERIAL=1`` (see ``repro.bench.sweep``).
+    """
+    return SweepPool(serial=serial).map(measure_point, list(points))
 
 
 def one_shot(benchmark, fn):

@@ -1,0 +1,23 @@
+"""Benchmark-suite pytest hooks.
+
+Adds ``--serial``: the debugging escape hatch that forces every
+``repro.bench.sweep`` fan-out in the figure benchmarks to run in-process
+(equivalent to ``REPRO_SWEEP_SERIAL=1``).  Results are identical either
+way; serial runs are easier to step through and profile.
+"""
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--serial",
+        action="store_true",
+        default=False,
+        help="run benchmark sweeps in-process instead of across a process pool",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--serial"):
+        os.environ["REPRO_SWEEP_SERIAL"] = "1"

@@ -1,0 +1,46 @@
+"""End-to-end wall-clock benchmark — writes ``BENCH_e2e.json``.
+
+Runs the Fig 11 hotspot-create point (SwitchFS, one shared directory)
+through the real ``run_stream`` harness and records completed operations
+per *wall* second.  Usage mirrors ``perf_kernel.py``::
+
+    PYTHONPATH=src python benchmarks/perf/perf_e2e.py --label pr2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+if os.path.isdir(os.path.join(REPO_ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.perf import bench_e2e, record_entry  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="dev", help="trajectory entry label")
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI-smoke scale (seconds, not minutes)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="take best wall time of N runs (default 2)")
+    parser.add_argument("--out", default=os.path.join(REPO_ROOT, "BENCH_e2e.json"))
+    parser.add_argument("--no-record", action="store_true",
+                        help="print results without touching the trajectory file")
+    args = parser.parse_args(argv)
+
+    scale = "tiny" if args.tiny else "full"
+    results = bench_e2e(scale=scale, repeats=args.repeats)
+    print(json.dumps(results, indent=2))
+    if not args.no_record:
+        record_entry(args.out, "e2e", results, label=args.label, scale=scale)
+        print(f"recorded entry {args.label!r} -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,12 +8,9 @@
     transactions on create/delete.
 """
 
-import pytest
-
 from repro.bench import Series, format_table
-from repro.workloads import multiple_directories, single_large_directory
 
-from _util import measure_fixed_op, one_shot, save_table
+from _util import one_shot, run_points, save_table
 
 SERVERS = [2, 8]
 OPS = 2000
@@ -24,27 +21,32 @@ MULTI_DIR_SYSTEMS = ["SwitchFS", "InfiniFS", "CFS-KV", "IndexFS", "Ceph"]
 OPS_UNDER_TEST = ["create", "delete", "mkdir", "rmdir", "stat", "statdir"]
 
 
-def _sweep(population_factory, systems, dir_choice, ceph_ops=600):
+def _sweep(population_spec, systems, dir_choice, ceph_ops=600):
+    # Every (op, system, #servers) point builds a fresh cluster from its
+    # own seed, so the grid fans across cores; the merge below runs in
+    # point order, giving the same tables as the old nested loop.
+    points = [
+        dict(system=system, op=op, population=population_spec,
+             num_servers=n, total_ops=ceph_ops if system == "Ceph" else OPS,
+             inflight=INFLIGHT, dir_choice=dir_choice, seed=17)
+        for op in OPS_UNDER_TEST
+        for system in systems
+        for n in SERVERS
+    ]
+    results = run_points(points)
     tables = {}
-    for op in OPS_UNDER_TEST:
-        series = Series(f"{op} peak throughput", "#servers", "Kops/s")
-        for system in systems:
-            for n in SERVERS:
-                total = ceph_ops if system == "Ceph" else OPS
-                result = measure_fixed_op(
-                    system, op, population_factory,
-                    num_servers=n, total_ops=total, inflight=INFLIGHT,
-                    dir_choice=dir_choice,
-                )
-                series.add(system, n, round(result.throughput_kops, 1))
-        tables[op] = series
+    for point, result in zip(points, results):
+        series = tables.setdefault(
+            point["op"], Series(f"{point['op']} peak throughput", "#servers", "Kops/s")
+        )
+        series.add(point["system"], point["num_servers"], round(result.throughput_kops, 1))
     return tables
 
 
 def test_fig11a_single_large_directory(benchmark):
     def run():
         # The population exceeds OPS so delete never runs out of targets.
-        return _sweep(lambda: single_large_directory(OPS + 200), SINGLE_DIR_SYSTEMS, "single")
+        return _sweep(("single", OPS + 200), SINGLE_DIR_SYSTEMS, "single")
 
     tables = one_shot(benchmark, run)
     text = []
@@ -76,7 +78,7 @@ def test_fig11a_single_large_directory(benchmark):
 
 def test_fig11b_multiple_directories(benchmark):
     def run():
-        return _sweep(lambda: multiple_directories(192, 24), MULTI_DIR_SYSTEMS, "uniform")
+        return _sweep(("multi", 192, 24), MULTI_DIR_SYSTEMS, "uniform")
 
     tables = one_shot(benchmark, run)
     text = []

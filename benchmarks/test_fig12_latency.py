@@ -6,12 +6,9 @@ lowest; its statdir pays a small premium for the in-flight-aggregation
 check; IndexFS (kernel networking) and Ceph (heavy stack) sit far above.
 """
 
-import pytest
-
 from repro.bench import format_table
-from repro.workloads import multiple_directories
 
-from _util import measure_fixed_op, one_shot, save_table
+from _util import one_shot, run_points, save_table
 
 SYSTEMS = ["SwitchFS", "InfiniFS", "CFS-KV", "IndexFS", "Ceph"]
 OPS_UNDER_TEST = ["create", "delete", "mkdir", "rmdir", "stat", "statdir"]
@@ -20,15 +17,19 @@ OPS = 300
 
 def test_fig12_latency(benchmark):
     def run():
-        table = {}
-        for system in SYSTEMS:
-            for op in OPS_UNDER_TEST:
-                result = measure_fixed_op(
-                    system, op, lambda: multiple_directories(64, 10),
-                    num_servers=8, total_ops=OPS, inflight=1,  # single client
-                )
-                table[(system, op)] = result.mean_latency_us
-        return table
+        # Independent single-client points; fanned via repro.bench.sweep.
+        points = [
+            dict(system=system, op=op, population=("multi", 64, 10),
+                 num_servers=8, total_ops=OPS, inflight=1,  # single client
+                 seed=17)
+            for system in SYSTEMS
+            for op in OPS_UNDER_TEST
+        ]
+        results = run_points(points)
+        return {
+            (p["system"], p["op"]): r.mean_latency_us
+            for p, r in zip(points, results)
+        }
 
     table = one_shot(benchmark, run)
     rows = [

@@ -14,11 +14,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from ..core.cluster import SwitchFSCluster
 from ..sim import AllOf, LatencyRecorder, PhaseStats
 from ..workloads.generator import OpStream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .sweep import SweepPool
 
 __all__ = ["RunResult", "run_stream", "find_peak_throughput"]
 
@@ -141,14 +144,32 @@ def find_peak_throughput(
     make_run: Callable[[int], RunResult],
     inflight_levels: Sequence[int] = (16, 32, 64, 128),
     tolerance: float = 1.02,
+    pool: Optional["SweepPool"] = None,
 ) -> RunResult:
     """Increase the in-flight level until throughput stops improving.
 
     ``make_run(inflight)`` must build a **fresh** cluster and run the
     workload.  Returns the best run.  Stops early when the next level
     improves by less than ``tolerance``×.
+
+    With *pool* (a :class:`repro.bench.sweep.SweepPool`), every level is
+    evaluated concurrently — ``make_run`` must then be picklable (a
+    module-level function) — and the same knee-selection scan runs over
+    the ordered results, so the chosen peak is identical to the serial
+    search (the levels past the knee are simply computed in parallel
+    instead of skipped).
     """
     best: Optional[RunResult] = None
+    if pool is not None:
+        for result in pool.map(make_run, list(inflight_levels)):
+            if best is not None and result.throughput_ops < best.throughput_ops * tolerance:
+                if result.throughput_ops > best.throughput_ops:
+                    best = result
+                break
+            if best is None or result.throughput_ops > best.throughput_ops:
+                best = result
+        assert best is not None
+        return best
     for level in inflight_levels:
         result = make_run(level)
         if best is not None and result.throughput_ops < best.throughput_ops * tolerance:

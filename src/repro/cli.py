@@ -10,19 +10,24 @@ Examples
     python -m repro compare --op create --dirs 1 --ops 2000
     python -m repro workload --mix dcs --system SwitchFS --ops 3000
     python -m repro faults --loss 0.1 --dup 0.05 --ops 200
+    python -m repro perf --tiny
 
-All numbers are virtual-time measurements from the deterministic
-simulation; repeated invocations with the same arguments reproduce the
-same results bit-for-bit.
+All numbers except ``perf``'s are virtual-time measurements from the
+deterministic simulation; repeated invocations with the same arguments
+reproduce the same results bit-for-bit.  ``compare`` fans its per-system
+runs across a process pool (``--serial`` / ``--jobs`` control it), which
+does not change the reported numbers — each run is an independent
+seeded simulation.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
-from .bench import SYSTEMS, make_cluster, print_table, run_stream, scaled_config
+from .bench import SweepPool, SYSTEMS, make_cluster, print_table, run_stream, scaled_config
 from .core import FSConfig, SwitchFSCluster
 from .net import FaultModel
 from .sim import make_rng
@@ -134,24 +139,61 @@ def cmd_throughput(args) -> int:
     return 0
 
 
+def _compare_point(point: dict) -> List:
+    """Picklable sweep worker: one system's run for ``repro compare``."""
+    args = argparse.Namespace(**point["args"])
+    system = point["system"]
+    cluster, population = _build(args, system=system)
+    stream = FixedOpStream(
+        args.op, population, seed=args.seed,
+        dir_choice="single" if args.dirs == 1 else "uniform",
+    )
+    total = args.ops if system != "Ceph" else max(200, args.ops // 4)
+    result = run_stream(cluster, stream, total_ops=total, inflight=args.inflight)
+    return [system, round(result.throughput_kops, 1),
+            round(result.mean_latency_us, 1)]
+
+
 def cmd_compare(args) -> int:
-    rows = []
-    for system in args.systems.split(","):
-        system = system.strip()
-        cluster, population = _build(args, system=system)
-        stream = FixedOpStream(
-            args.op, population, seed=args.seed,
-            dir_choice="single" if args.dirs == 1 else "uniform",
-        )
-        total = args.ops if system != "Ceph" else max(200, args.ops // 4)
-        result = run_stream(cluster, stream, total_ops=total, inflight=args.inflight)
-        rows.append([system, round(result.throughput_kops, 1),
-                     round(result.mean_latency_us, 1)])
+    systems = [s.strip() for s in args.systems.split(",")]
+    arg_dict = {k: v for k, v in vars(args).items() if k != "fn"}
+    points = [{"system": system, "args": arg_dict} for system in systems]
+    pool = SweepPool(max_workers=args.jobs, serial=True if args.serial else None)
+    rows = pool.map(_compare_point, points)
     print_table(
         f"compare: {args.op} over {args.dirs} dir(s), "
         f"{args.servers} servers x {args.cores} cores",
         ["system", "Kops/s", "avg us"], rows,
     )
+    return 0
+
+
+def cmd_perf(args) -> int:
+    """Wall-clock suites; see benchmarks/perf/ and EXPERIMENTS.md."""
+    from .bench.perf import bench_e2e, bench_kernel, record_entry
+
+    scale = "tiny" if args.tiny else "full"
+    kernel = bench_kernel(scale=scale, repeats=args.repeats)
+    e2e = bench_e2e(scale=scale)
+    print_table(
+        f"kernel events/sec ({scale})",
+        ["workload", "events/s", "wall s"],
+        [[name, f"{r['events_per_sec']:,.0f}", r["wall_seconds"]]
+         for name, r in kernel.items()],
+    )
+    print_table(
+        f"end-to-end wall clock ({scale})",
+        ["benchmark", "ops/s wall", "wall s"],
+        [[name, f"{r['wall_ops_per_sec']:,.0f}", r["wall_seconds"]]
+         for name, r in e2e.items()],
+    )
+    if not args.no_record:
+        out_dir = args.out_dir or os.getcwd()
+        kpath = os.path.join(out_dir, "BENCH_kernel.json")
+        epath = os.path.join(out_dir, "BENCH_e2e.json")
+        record_entry(kpath, "kernel", kernel, label=args.label, scale=scale)
+        record_entry(epath, "e2e", e2e, label=args.label, scale=scale)
+        print(f"recorded {args.label!r} -> {kpath}, {epath}")
     return 0
 
 
@@ -224,7 +266,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--op", default="create", choices=OPS)
     p.add_argument("--systems", default="SwitchFS,InfiniFS,CFS-KV",
                    help="comma-separated system list")
+    p.add_argument("--serial", action="store_true",
+                   help="run systems in-process instead of across a process pool")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="max sweep worker processes (default: all cores)")
     p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("perf", help="wall-clock kernel + end-to-end suites")
+    p.add_argument("--tiny", action="store_true",
+                   help="CI-smoke scale (seconds, not minutes)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="take best wall time of N kernel runs (default 3)")
+    p.add_argument("--label", default="dev", help="trajectory entry label")
+    p.add_argument("--out-dir", default=None,
+                   help="where to write BENCH_*.json (default: cwd)")
+    p.add_argument("--no-record", action="store_true",
+                   help="print without touching the trajectory files")
+    p.set_defaults(fn=cmd_perf)
 
     p = sub.add_parser("workload", help="run a Table-5 workload mix")
     _add_cluster_args(p)

@@ -15,6 +15,28 @@ Virtual time is a ``float`` measured in **microseconds** throughout the
 project, matching the latency scale of the paper's evaluation (RTTs of a
 few microseconds, operation latencies of tens to hundreds).
 
+Fast paths
+----------
+Every simulated microsecond in the repo funnels through this loop, so it
+carries several allocation-avoiding fast paths (see DESIGN.md §9 for the
+invariants they must preserve):
+
+* the first callback of an event lives in a dedicated slot (``_cb1``);
+  the overflow list is only allocated for the second waiter onward;
+* processes boot by pushing *themselves* onto the heap instead of
+  allocating a kick-off event;
+* a process that yields an already-*processed* event (e.g. an
+  uncontended resource grant from :mod:`repro.sim.resources`) resumes
+  inline via a trampoline in :meth:`Process._step` — no heap traffic and
+  no recursion;
+* :meth:`Simulator.timeout` recycles :class:`Timeout` objects through a
+  bounded free list, guarded by a refcount check so any timeout that
+  user code still references is never reused.
+
+All fast paths preserve the documented determinism contract: events
+scheduled at equal virtual times run in insertion (FIFO) order, and two
+runs of the same seeded workload produce identical event orderings.
+
 Example
 -------
 >>> sim = Simulator()
@@ -32,6 +54,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import sys
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -44,6 +67,18 @@ __all__ = [
     "Interrupt",
     "SimulationError",
 ]
+
+# CPython refcounts are the guard for Timeout recycling; without them
+# (other interpreters) the pool is simply disabled.
+_refcount = getattr(sys, "getrefcount", None)
+if sys.implementation.name != "cpython":  # pragma: no cover - CPython-only repo
+    _refcount = None
+
+_TIMEOUT_POOL_MAX = 1024
+
+# Module-level alias: one global load instead of two attribute lookups in
+# the scheduling hot paths (succeed/fail/timeout run once per event).
+_heappush = heapq.heappush
 
 
 class SimulationError(Exception):
@@ -69,13 +104,18 @@ class Event:
     :meth:`succeed` or :meth:`fail`, after which its callbacks run on the
     simulator loop at the current virtual time.  Processes wait on events
     by yielding them.
+
+    Callback storage is two-tier: the common single-waiter case uses the
+    ``_cb1`` slot; ``callbacks`` is the overflow list, allocated only when
+    a second waiter arrives.  Callbacks run in registration order.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed")
+    __slots__ = ("sim", "_cb1", "callbacks", "_value", "_exc", "_triggered", "_processed")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._cb1: Optional[Callable[["Event"], None]] = None
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = None
         self._value: Any = None
         self._exc: Optional[BaseException] = None
         self._triggered = False
@@ -112,7 +152,8 @@ class Event:
             raise SimulationError("event already triggered")
         self._triggered = True
         self._value = value
-        self.sim._enqueue_triggered(self)
+        sim = self.sim
+        _heappush(sim._heap, (sim._now, next(sim._counter), self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -123,27 +164,55 @@ class Event:
             raise SimulationError("fail() requires an exception instance")
         self._triggered = True
         self._exc = exc
-        self.sim._enqueue_triggered(self)
+        sim = self.sim
+        _heappush(sim._heap, (sim._now, next(sim._counter), self))
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Run *fn(event)* when the event fires (immediately if already done)."""
         if self._processed:
             fn(self)
+        elif self._cb1 is None and self.callbacks is None:
+            self._cb1 = fn
+        elif self.callbacks is None:
+            self.callbacks = [fn]
         else:
-            assert self.callbacks is not None
             self.callbacks.append(fn)
 
+    def _discard_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Detach *fn* if registered (bound-method equality, not identity).
+
+        Keeps registration order intact: discarding the slot callback
+        promotes the head of the overflow list into the slot.
+        """
+        if self._cb1 is not None and self._cb1 == fn:
+            if self.callbacks:
+                self._cb1 = self.callbacks.pop(0)
+            else:
+                self._cb1 = None
+        elif self.callbacks is not None:
+            try:
+                self.callbacks.remove(fn)
+            except ValueError:
+                pass
+
     def _run_callbacks(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
         self._processed = True
+        cb1, self._cb1 = self._cb1, None
+        callbacks, self.callbacks = self.callbacks, None
+        if cb1 is not None:
+            cb1(self)
         if callbacks:
             for fn in callbacks:
                 fn(self)
 
 
 class Timeout(Event):
-    """An event that fires automatically after a fixed delay."""
+    """An event that fires automatically after a fixed delay.
+
+    Prefer :meth:`Simulator.timeout`, which recycles processed instances
+    through a bounded pool instead of allocating fresh ones.
+    """
 
     __slots__ = ("delay",)
 
@@ -154,7 +223,7 @@ class Timeout(Event):
         self.delay = delay
         self._triggered = True
         self._value = value
-        sim._schedule_at(sim.now + delay, self)
+        heapq.heappush(sim._heap, (sim._now + delay, next(sim._counter), self))
 
 
 class Process(Event):
@@ -167,17 +236,21 @@ class Process(Event):
     exception.
     """
 
-    __slots__ = ("gen", "name", "_waiting_on")
+    __slots__ = ("gen", "name", "_waiting_on", "_started", "_resume_cb")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        # Kick off at the current time.
-        boot = Event(sim)
-        boot.add_callback(self._resume)
-        boot.succeed()
+        self._started = False
+        # One bound method reused for every wait, instead of allocating a
+        # fresh one per yield.
+        self._resume_cb = self._resume
+        # Boot without a kick-off event: the process is its own heap entry;
+        # _run_callbacks dispatches on _started.  Heap position (and hence
+        # deterministic tie-break order) matches the old boot event exactly.
+        heapq.heappush(sim._heap, (sim._now, next(sim._counter), self))
 
     @property
     def is_alive(self) -> bool:
@@ -195,65 +268,107 @@ class Process(Event):
         if target is not None and not target._processed:
             # Detach from the event we were waiting on so its later firing
             # does not resume us twice.
-            if target.callbacks is not None and self._resume in target.callbacks:
-                target.callbacks.remove(self._resume)
+            target._discard_callback(self._resume_cb)
         self._waiting_on = None
         kick = Event(self.sim)
-        kick.add_callback(lambda ev: self._step_throw(Interrupt(cause)))
+        kick.add_callback(lambda ev: self._step(None, Interrupt(cause)))
         kick.succeed()
 
     # -- internals ---------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        """Advance the generator; trampoline over already-processed targets.
+
+        This single iterative loop replaces the old mutually-recursive
+        ``_step_send`` / ``_step_throw`` / ``_wait_on`` trio; it is also
+        the callback registered on every awaited event, so one Python
+        frame covers callback entry, generator advance, and re-wait.  A
+        yielded event that is *already processed* (uncontended resource
+        grant, pre-fired event) feeds straight back into the loop rather
+        than recursing or taking a trip through the heap.
+        """
         if self._triggered:
             return
         self._waiting_on = None
-        if event._exc is not None:
-            self._step_throw(event._exc)
+        value = event._value
+        exc = event._exc
+        gen = self.gen
+        sim = self.sim
+        while True:
+            try:
+                if exc is None:
+                    target = gen.send(value)
+                else:
+                    err, exc = exc, None
+                    target = gen.throw(err)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as err:  # noqa: BLE001 - propagate via event
+                # Covers both an unhandled throw (err is the exception we
+                # threw in) and a fresh exception raised by the generator;
+                # either way the process fails with what escaped.
+                self.fail(err)
+                return
+            if not isinstance(target, Event):
+                value = None
+                exc = SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+                continue
+            if target.sim is not sim:
+                value = None
+                exc = SimulationError("yielded event from another simulator")
+                continue
+            if target._processed:
+                # Immediate-resume fast path.
+                value = target._value
+                exc = target._exc
+                continue
+            self._waiting_on = target
+            # Inlined add_callback single-waiter case (the overwhelmingly
+            # common one: we are the event's only waiter).
+            if target._cb1 is None and target.callbacks is None:
+                target._cb1 = self._resume_cb
+            else:
+                target.add_callback(self._resume_cb)
+            return
+
+    def _run_callbacks(self) -> None:
+        if not self._started:
+            # Boot entry: start the generator instead of running completion
+            # callbacks (none can have fired yet).  The shared granted
+            # event is a zero-allocation (value=None, exc=None) carrier.
+            self._started = True
+            self._resume(self.sim._granted_none)
+            return
+        Event._run_callbacks(self)
+
+    # Entry points for code that steps a process outside the callback path
+    # (interrupt delivery, tests).  They wrap the value/exception in a
+    # processed carrier event and enter the trampoline.
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if exc is None:
+            self._resume(self.sim.granted(value))
         else:
-            self._step_send(event._value)
+            carrier = Event(self.sim)
+            carrier._exc = exc
+            carrier._triggered = True
+            carrier._processed = True
+            self._resume(carrier)
 
     def _step_send(self, value: Any) -> None:
-        try:
-            target = self.gen.send(value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-        except BaseException as exc:  # noqa: BLE001 - propagate via event
-            self.fail(exc)
-        else:
-            self._wait_on(target)
+        self._step(value, None)
 
     def _step_throw(self, exc: BaseException) -> None:
-        try:
-            target = self.gen.throw(exc)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-        except BaseException as err:  # noqa: BLE001
-            if err is exc:
-                # The process did not handle the thrown exception.
-                self.fail(err)
-            else:
-                self.fail(err)
-        else:
-            self._wait_on(target)
-
-    def _wait_on(self, target: Any) -> None:
-        if not isinstance(target, Event):
-            self._step_throw(
-                SimulationError(f"process {self.name!r} yielded non-event {target!r}")
-            )
-            return
-        if target.sim is not self.sim:
-            self._step_throw(SimulationError("yielded event from another simulator"))
-            return
-        self._waiting_on = target
-        target.add_callback(self._resume)
+        self._step(None, exc)
 
 
 class AllOf(Event):
     """Fires when all constituent events have succeeded.
 
     Succeeds with a list of their values in the order given.  Fails as soon
-    as any constituent fails.
+    as any constituent fails, detaching its callback from the still-pending
+    constituents so they hold no dangling references.
     """
 
     __slots__ = ("_pending", "_events")
@@ -265,36 +380,52 @@ class AllOf(Event):
         if self._pending == 0:
             self.succeed([])
             return
+        cb = self._on_child
         for ev in self._events:
-            ev.add_callback(self._on_child)
+            if self._triggered:
+                break
+            ev.add_callback(cb)
 
     def _on_child(self, ev: Event) -> None:
         if self._triggered:
             return
         if ev._exc is not None:
             self.fail(ev._exc)
+            self._detach()
             return
         self._pending -= 1
         if self._pending == 0:
             self.succeed([e._value for e in self._events])
+
+    def _detach(self) -> None:
+        cb = self._on_child
+        for ev in self._events:
+            if not ev._processed:
+                ev._discard_callback(cb)
 
 
 class AnyOf(Event):
     """Fires when the first constituent event triggers.
 
     Succeeds with ``(index, value)`` of the first event to succeed; fails
-    if the first event to trigger failed.
+    if the first event to trigger failed.  Either way the losing events
+    are detached so the combinator leaks no callbacks.
     """
 
-    __slots__ = ("_events",)
+    __slots__ = ("_events", "_cbs")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self._events = list(events)
         if not self._events:
             raise SimulationError("AnyOf requires at least one event")
+        self._cbs: List[Callable[[Event], None]] = []
         for idx, ev in enumerate(self._events):
-            ev.add_callback(self._make_cb(idx))
+            if self._triggered:
+                break
+            cb = self._make_cb(idx)
+            self._cbs.append(cb)
+            ev.add_callback(cb)
 
     def _make_cb(self, idx: int) -> Callable[[Event], None]:
         def cb(ev: Event) -> None:
@@ -304,8 +435,14 @@ class AnyOf(Event):
                 self.fail(ev._exc)
             else:
                 self.succeed((idx, ev._value))
+            self._detach()
 
         return cb
+
+    def _detach(self) -> None:
+        for ev, cb in zip(self._events, self._cbs):
+            if not ev._processed:
+                ev._discard_callback(cb)
 
 
 class Simulator:
@@ -321,6 +458,14 @@ class Simulator:
         self._heap: List = []
         self._counter = itertools.count()
         self._stopped = False
+        self._timeout_pool: List[Timeout] = []
+        # Shared pre-processed success event for valueless immediate grants
+        # (see resources.py).  Processed events are immutable, so one
+        # instance serves every uncontended acquire in this simulator.
+        granted = Event(self)
+        granted._triggered = True
+        granted._processed = True
+        self._granted_none = granted
 
     @property
     def now(self) -> float:
@@ -333,8 +478,38 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that fires after *delay* microseconds."""
+        """An event that fires after *delay* microseconds.
+
+        Recycles processed :class:`Timeout` objects from a bounded pool
+        when the interpreter's refcounts prove no user code still holds
+        them (see :meth:`_recycle`).
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            t = pool.pop()
+            t.delay = delay
+            t._value = value
+            t._processed = False
+            _heappush(self._heap, (self._now + delay, next(self._counter), t))
+            return t
         return Timeout(self, delay, value)
+
+    def granted(self, value: Any = None) -> Event:
+        """An already-processed successful event (immediate-grant fast path).
+
+        Yielding it resumes the process inline — no allocation for the
+        ``None``-valued case, and no heap round-trip ever.  Used by the
+        resource primitives when an acquire can be served without waiting.
+        """
+        if value is None:
+            return self._granted_none
+        ev = Event(self)
+        ev._value = value
+        ev._triggered = True
+        ev._processed = True
+        return ev
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start a new process from generator *gen*."""
@@ -351,9 +526,23 @@ class Simulator:
         heapq.heappush(self._heap, (when, next(self._counter), event))
 
     def _enqueue_triggered(self, event: Event) -> None:
-        if isinstance(event, Timeout):
-            return  # already scheduled at construction
         self._schedule_at(self._now, event)
+
+    def _recycle(self, t: Timeout) -> None:
+        """Return a processed timeout to the pool if nothing references it.
+
+        The refcount guard (caller local + our parameter + getrefcount's
+        argument = 3) proves no generator frame, combinator, or user
+        variable still holds the object, so reuse cannot corrupt a later
+        ``_value`` read.  Refcounts are deterministic in CPython, so
+        pooling never perturbs event ordering.
+        """
+        if _refcount is not None and len(self._timeout_pool) < _TIMEOUT_POOL_MAX:
+            if _refcount(t) == 3:
+                t._value = None
+                t._cb1 = None
+                t.callbacks = None
+                self._timeout_pool.append(t)
 
     # -- running -----------------------------------------------------------
     def step(self) -> None:
@@ -363,6 +552,8 @@ class Simulator:
             raise SimulationError("time went backwards")
         self._now = when
         event._run_callbacks()
+        if type(event) is Timeout:
+            self._recycle(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or virtual time reaches *until*.
@@ -371,11 +562,43 @@ class Simulator:
         even if the last processed event fired earlier.
         """
         self._stopped = False
-        while self._heap and not self._stopped:
-            if until is not None and self._heap[0][0] > until:
+        # Hot loop: step() inlined with cached locals, and callback dispatch
+        # for the two leaf event classes (plain Event, Timeout) unrolled —
+        # this loop executes once per simulated event repo-wide.
+        heap = self._heap
+        pop = heapq.heappop
+        pool = self._timeout_pool
+        refcount = _refcount
+        while heap and not self._stopped:
+            if until is not None and heap[0][0] > until:
                 self._now = until
                 return
-            self.step()
+            when, _, event = pop(heap)
+            if when < self._now:
+                raise SimulationError("time went backwards")
+            self._now = when
+            cls = event.__class__
+            if cls is Timeout or cls is Event:
+                # Inlined Event._run_callbacks.
+                event._processed = True
+                cb1, event._cb1 = event._cb1, None
+                callbacks, event.callbacks = event.callbacks, None
+                if cb1 is not None:
+                    cb1(event)
+                if callbacks:
+                    for fn in callbacks:
+                        fn(event)
+                # Inlined _recycle; refcount 2 = our local + getrefcount arg.
+                if (
+                    cls is Timeout
+                    and refcount is not None
+                    and len(pool) < _TIMEOUT_POOL_MAX
+                    and refcount(event) == 2
+                ):
+                    event._value = None
+                    pool.append(event)
+            else:
+                event._run_callbacks()
         if until is not None and self._now < until:
             self._now = until
 
@@ -386,12 +609,40 @@ class Simulator:
         :class:`SimulationError` if the simulation drained (deadlock) or hit
         *until* before the process finished.
         """
-        while not proc.triggered:
-            if not self._heap:
+        heap = self._heap
+        pop = heapq.heappop
+        pool = self._timeout_pool
+        refcount = _refcount
+        while not proc._triggered:
+            if not heap:
                 raise SimulationError(f"deadlock: process {proc.name!r} never finished")
-            if until is not None and self._heap[0][0] > until:
+            if until is not None and heap[0][0] > until:
                 raise SimulationError(f"process {proc.name!r} still running at t={until}")
-            self.step()
+            when, _, event = pop(heap)
+            if when < self._now:
+                raise SimulationError("time went backwards")
+            self._now = when
+            cls = event.__class__
+            if cls is Timeout or cls is Event:
+                # Same inlined dispatch as Simulator.run (kept in sync).
+                event._processed = True
+                cb1, event._cb1 = event._cb1, None
+                callbacks, event.callbacks = event.callbacks, None
+                if cb1 is not None:
+                    cb1(event)
+                if callbacks:
+                    for fn in callbacks:
+                        fn(event)
+                if (
+                    cls is Timeout
+                    and refcount is not None
+                    and len(pool) < _TIMEOUT_POOL_MAX
+                    and refcount(event) == 2
+                ):
+                    event._value = None
+                    pool.append(event)
+            else:
+                event._run_callbacks()
         return proc.value
 
     def stop(self) -> None:

@@ -12,6 +12,17 @@ These model the contended facilities in the reproduction:
 
 All primitives are FIFO-fair: waiters are served in arrival order, which
 keeps the simulation deterministic.
+
+Two grant paths (see DESIGN.md §9):
+
+* **Immediate grant** — when an acquire (or ``Store.get``) can be served
+  without waiting, it returns an already-*processed* event via
+  :meth:`Simulator.granted`; the yielding process resumes inline with no
+  pending-event allocation and no heap round-trip.
+* **Queued grant** — when the caller must wait, a pending event joins the
+  FIFO queue and is succeeded on release/put, which defers the resume
+  through the heap.  Release and put therefore never re-enter the
+  releasing process, and waiters wake strictly in arrival order.
 """
 
 from __future__ import annotations
@@ -49,12 +60,11 @@ class Resource:
         return len(self._waiters)
 
     def acquire(self) -> Event:
-        ev = self.sim.event()
         if self._in_use < self.capacity:
             self._in_use += 1
-            ev.succeed()
-        else:
-            self._waiters.append(ev)
+            return self.sim.granted()
+        ev = Event(self.sim)
+        self._waiters.append(ev)
         return ev
 
     def release(self) -> None:
@@ -62,6 +72,7 @@ class Resource:
             raise SimulationError("release of an idle resource")
         if self._waiters:
             # Hand the unit straight to the next waiter; _in_use unchanged.
+            # The waiter wakes via the heap, never inline from release().
             self._waiters.popleft().succeed()
         else:
             self._in_use -= 1
@@ -111,21 +122,19 @@ class RWLock:
         return self._writer
 
     def acquire_read(self) -> Event:
-        ev = self.sim.event()
         if not self._writer and not self._waiters:
             self._readers += 1
-            ev.succeed()
-        else:
-            self._waiters.append((False, ev))
+            return self.sim.granted()
+        ev = Event(self.sim)
+        self._waiters.append((False, ev))
         return ev
 
     def acquire_write(self) -> Event:
-        ev = self.sim.event()
         if not self._writer and self._readers == 0 and not self._waiters:
             self._writer = True
-            ev.succeed()
-        else:
-            self._waiters.append((True, ev))
+            return self.sim.granted()
+        ev = Event(self.sim)
+        self._waiters.append((True, ev))
         return ev
 
     def release_read(self) -> None:
@@ -181,11 +190,10 @@ class Store:
             self._items.append(item)
 
     def get(self) -> Event:
-        ev = self.sim.event()
         if self._items:
-            ev.succeed(self._items.popleft())
-        else:
-            self._getters.append(ev)
+            return self.sim.granted(self._items.popleft())
+        ev = Event(self.sim)
+        self._getters.append(ev)
         return ev
 
     def try_get(self) -> Optional[Any]:

@@ -1,0 +1,76 @@
+"""Determinism regression: same seed ⇒ bit-identical results.
+
+The kernel fast paths (DESIGN.md §9) remove allocations and heap traffic
+but must never perturb event ordering: two runs of the same seeded
+workload have to produce byte-identical latency sample streams, phase
+totals, and virtual-time measurements.  These tests run small versions
+of the figure benchmarks twice and diff every ``RunResult`` field.
+"""
+
+from repro.bench import make_cluster, run_stream, scaled_config
+from repro.workloads import (
+    FixedOpStream,
+    MixStream,
+    THUMBNAIL_MIX,
+    bootstrap,
+    multiple_directories,
+    single_large_directory,
+)
+
+
+def _fingerprint(result):
+    """Every observable field of a RunResult, in a comparable form.
+
+    ``latency.samples`` preserves recording order, so equality here means
+    the interleaving of op completions matched event-for-event, not just
+    the aggregate statistics.
+    """
+    return {
+        "ops_completed": result.ops_completed,
+        "sim_elapsed_us": result.sim_elapsed_us,
+        "inflight": result.inflight,
+        "samples": {op: result.latency.samples(op) for op in sorted(result.latency.ops())},
+        "phase_totals": result.phases.as_dict(),
+        "phase_counts": {p: result.phases.count(p) for p in result.phases.phases()},
+    }
+
+
+def _hotspot_point(system: str):
+    """Small fig-11-style point: contended create on one shared directory."""
+    cluster = make_cluster(system, scaled_config(num_servers=4, seed=17))
+    pop = bootstrap(cluster, single_large_directory(400), warm_clients=[0])
+    stream = FixedOpStream("create", pop, seed=17, dir_choice="single")
+    return run_stream(cluster, stream, total_ops=250, inflight=16)
+
+
+def _mix_point():
+    """Small workload-mix point exercising the cross-op scheduler paths."""
+    cluster = make_cluster("SwitchFS", scaled_config(num_servers=4, seed=23))
+    pop = bootstrap(cluster, multiple_directories(16, 8), warm_clients=[0])
+    stream = MixStream(THUMBNAIL_MIX, pop, seed=23)
+    return run_stream(cluster, stream, total_ops=250, inflight=8)
+
+
+class TestRunDeterminism:
+    def test_switchfs_hotspot_identical_across_runs(self):
+        assert _fingerprint(_hotspot_point("SwitchFS")) == _fingerprint(
+            _hotspot_point("SwitchFS")
+        )
+
+    def test_baseline_hotspot_identical_across_runs(self):
+        assert _fingerprint(_hotspot_point("InfiniFS")) == _fingerprint(
+            _hotspot_point("InfiniFS")
+        )
+
+    def test_mix_stream_identical_across_runs(self):
+        assert _fingerprint(_mix_point()) == _fingerprint(_mix_point())
+
+    def test_different_load_actually_changes_the_run(self):
+        """Guard against the fingerprint being insensitive (e.g. all-empty)."""
+        base = _fingerprint(_hotspot_point("SwitchFS"))
+        cluster = make_cluster("SwitchFS", scaled_config(num_servers=4, seed=17))
+        pop = bootstrap(cluster, single_large_directory(400), warm_clients=[0])
+        stream = FixedOpStream("create", pop, seed=17, dir_choice="single")
+        other = _fingerprint(run_stream(cluster, stream, total_ops=250, inflight=4))
+        assert base["samples"]["all"]  # non-trivial sample stream
+        assert base != other

@@ -1,0 +1,394 @@
+"""Regression tests for the kernel fast paths (DESIGN.md §9).
+
+Covers the single-waiter callback slot, process boot without a kick-off
+event, the immediate-grant trampoline, Timeout pooling, combinator
+callback detaching, and interrupt catch/re-raise semantics.
+"""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Lock,
+    Resource,
+    RWLock,
+    SimulationError,
+    Simulator,
+    Store,
+)
+
+
+# ---------------------------------------------------------------------------
+# single-waiter callback slot
+# ---------------------------------------------------------------------------
+
+
+class TestCallbackStorage:
+    def test_no_list_for_single_waiter(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.add_callback(lambda e: None)
+        assert ev.callbacks is None  # overflow list never allocated
+
+    def test_callbacks_run_in_registration_order(self):
+        sim = Simulator()
+        ev = sim.event()
+        order = []
+        for tag in ("a", "b", "c"):
+            ev.add_callback(lambda e, tag=tag: order.append(tag))
+        ev.succeed()
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_discard_slot_callback_promotes_list_head(self):
+        sim = Simulator()
+        ev = sim.event()
+        order = []
+        cbs = [lambda e, tag=tag: order.append(tag) for tag in ("a", "b", "c")]
+        for cb in cbs:
+            ev.add_callback(cb)
+        ev._discard_callback(cbs[0])
+        ev.add_callback(lambda e: order.append("d"))
+        ev.succeed()
+        sim.run()
+        assert order == ["b", "c", "d"]  # order preserved after promotion
+
+    def test_add_callback_after_processed_runs_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("x")
+        sim.run()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == ["x"]
+
+
+# ---------------------------------------------------------------------------
+# process boot and the immediate-resume trampoline
+# ---------------------------------------------------------------------------
+
+
+class TestProcessFastPath:
+    def test_spawn_defers_first_step_to_the_loop(self):
+        sim = Simulator()
+        started = []
+
+        def proc(sim):
+            started.append(sim.now)
+            yield sim.timeout(1.0)
+
+        sim.spawn(proc(sim))
+        assert started == []  # not started inline at spawn time
+        sim.run()
+        assert started == [0.0]
+
+    def test_spawn_interleaves_with_pending_events_fifo(self):
+        """A pending event queued before spawn still runs first (seed order)."""
+        sim = Simulator()
+        order = []
+        ev = sim.event()
+        ev.add_callback(lambda e: order.append("event"))
+        ev.succeed()
+
+        def proc(sim):
+            order.append("process")
+            yield sim.timeout(1.0)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert order == ["event", "process"]
+
+    def test_yield_processed_event_resumes_inline_without_heap(self):
+        sim = Simulator()
+        granted = sim.granted("v")
+        out = []
+
+        def proc(sim):
+            for _ in range(3):
+                out.append((yield granted))
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert out == ["v", "v", "v"]
+
+    def test_deep_immediate_resume_chain_does_not_recurse(self):
+        """50k immediate grants in a row must not blow the Python stack."""
+        sim = Simulator()
+        store = Store(sim)
+        n = 50_000
+
+        def proc(sim):
+            for i in range(n):
+                store.put(i)
+                got = yield store.get()
+                assert got == i
+
+        done = sim.spawn(proc(sim))
+        sim.run()
+        assert done.ok
+
+    def test_granted_none_is_shared_and_immutable(self):
+        sim = Simulator()
+        a, b = sim.granted(), sim.granted()
+        assert a is b
+        assert a.processed and a.ok
+        with pytest.raises(SimulationError):
+            a.succeed()
+
+    def test_granted_value_events_are_distinct(self):
+        sim = Simulator()
+        a, b = sim.granted(1), sim.granted(2)
+        assert a is not b
+        assert a.value == 1 and b.value == 2
+
+
+# ---------------------------------------------------------------------------
+# Timeout pooling
+# ---------------------------------------------------------------------------
+
+
+class TestTimeoutPool:
+    def test_unreferenced_timeouts_are_recycled(self):
+        sim = Simulator()
+
+        def proc(sim):
+            for _ in range(10):
+                yield sim.timeout(1.0)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert len(sim._timeout_pool) >= 1
+
+    def test_referenced_timeout_is_never_recycled(self):
+        sim = Simulator()
+        held = []
+
+        def proc(sim):
+            t = sim.timeout(1.0)
+            held.append(t)
+            yield t
+            yield sim.timeout(1.0)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert held[0] not in sim._timeout_pool
+        assert held[0].processed  # the held object's terminal state is intact
+
+    def test_recycled_timeout_reused_with_fresh_state(self):
+        sim = Simulator()
+        times = []
+
+        def proc(sim):
+            got = yield sim.timeout(1.0, "first")
+            times.append((sim.now, got))
+            got = yield sim.timeout(2.5, "second")
+            times.append((sim.now, got))
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert times == [(1.0, "first"), (3.5, "second")]
+
+    def test_pooled_negative_delay_still_rejected(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(1.0)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert sim._timeout_pool  # reuse path is active
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_allof_over_timeouts_reads_correct_values(self):
+        """Constituents referenced by a combinator must not be recycled."""
+        sim = Simulator()
+        out = []
+
+        def proc(sim):
+            values = yield AllOf(sim, [sim.timeout(1.0, "a"), sim.timeout(2.0, "b")])
+            out.append(values)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert out == [["a", "b"]]
+
+
+# ---------------------------------------------------------------------------
+# resource immediate grants
+# ---------------------------------------------------------------------------
+
+
+class TestImmediateGrants:
+    def test_free_resource_grant_is_processed(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        ev = res.acquire()
+        assert ev.processed and ev.ok
+        assert res.in_use == 1
+
+    def test_contended_resource_grant_is_pending(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        first = lock.acquire()
+        second = lock.acquire()
+        assert first.processed
+        assert not second.triggered
+        lock.release()
+        assert second.triggered and not second.processed  # wakes via the heap
+
+    def test_rwlock_uncontended_paths(self):
+        sim = Simulator()
+        rw = RWLock(sim)
+        r = rw.acquire_read()
+        assert r.processed
+        rw.release_read()
+        w = rw.acquire_write()
+        assert w.processed
+        rw.release_write()
+
+    def test_store_get_with_items_is_processed(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        ev = store.get()
+        assert ev.processed and ev.value == "x"
+
+    def test_store_put_none_delivers_none(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(None)
+        got = []
+
+        def proc(sim):
+            got.append((yield store.get()))
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert got == [None]
+
+
+# ---------------------------------------------------------------------------
+# combinator callback leak (satellite fix)
+# ---------------------------------------------------------------------------
+
+
+def _dangling(ev):
+    return (1 if ev._cb1 is not None else 0) + len(ev.callbacks or ())
+
+
+class TestCombinatorDetach:
+    def test_anyof_detaches_losers(self):
+        sim = Simulator()
+        fast, slow = sim.timeout(1.0, "fast"), sim.event()
+        out = []
+
+        def proc(sim):
+            out.append((yield AnyOf(sim, [fast, slow])))
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert out == [(0, "fast")]
+        assert _dangling(slow) == 0  # loser holds no combinator callback
+
+    def test_allof_detaches_on_failure(self):
+        sim = Simulator()
+        doomed, pending = sim.event(), sim.event()
+        caught = []
+
+        def proc(sim):
+            try:
+                yield AllOf(sim, [doomed, pending])
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.spawn(proc(sim))
+        doomed.fail(RuntimeError("boom"))
+        sim.run()
+        assert caught == ["boom"]
+        assert _dangling(pending) == 0
+
+    def test_anyof_loser_can_still_fire_safely(self):
+        sim = Simulator()
+        a, b = sim.event(), sim.event()
+        out = []
+
+        def proc(sim):
+            out.append((yield AnyOf(sim, [a, b])))
+
+        sim.spawn(proc(sim))
+        a.succeed("first")
+        sim.run()
+        b.succeed("late")  # detached: firing the loser is inert
+        sim.run()
+        assert out == [(0, "first")]
+
+
+# ---------------------------------------------------------------------------
+# interrupt delivery: catch vs re-raise (satellite fix for _step_throw)
+# ---------------------------------------------------------------------------
+
+
+class TestInterruptHandling:
+    def test_process_catches_interrupt_and_continues(self):
+        sim = Simulator()
+        log = []
+
+        def worker(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                log.append(("caught", intr.cause, sim.now))
+            yield sim.timeout(5.0)
+            log.append(("done", sim.now))
+            return "finished"
+
+        def poker(sim, target):
+            yield sim.timeout(2.0)
+            target.interrupt("poke")
+
+        target = sim.spawn(worker(sim))
+        sim.spawn(poker(sim, target))
+        sim.run()
+        assert log == [("caught", "poke", 2.0), ("done", 7.0)]
+        assert target.ok and target.value == "finished"
+
+    def test_process_reraises_interrupt_and_fails(self):
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(100.0)
+
+        def poker(sim, target):
+            yield sim.timeout(2.0)
+            target.interrupt("fatal")
+
+        target = sim.spawn(worker(sim))
+        sim.spawn(poker(sim, target))
+        sim.run()
+        assert target.triggered and not target.ok
+        with pytest.raises(Interrupt):
+            _ = target.value
+
+    def test_process_translates_interrupt_into_new_exception(self):
+        """The old dead `err is exc` branch: a *different* exception escaping
+        the handler must fail the process with the new exception."""
+        sim = Simulator()
+
+        def worker(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                raise ValueError(f"translated {intr.cause}") from intr
+
+        def poker(sim, target):
+            yield sim.timeout(2.0)
+            target.interrupt("x")
+
+        target = sim.spawn(worker(sim))
+        sim.spawn(poker(sim, target))
+        sim.run()
+        with pytest.raises(ValueError, match="translated x"):
+            _ = target.value
