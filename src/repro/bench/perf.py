@@ -11,12 +11,17 @@ host.  Two suites:
   workload is fixed by construction (yields executed by the workload's
   processes) and therefore comparable across kernel implementations even
   when an optimisation removes internal heap traffic.
+* **rpc** — microbenchmarks of the message datapath in :mod:`repro.net`
+  (RPC ping-pong, multicast fan-out, notify storms, stale-set packets
+  through the programmable switch), reported as *operations per wall
+  second* where an operation is one completed RPC / notify / packet.
 * **e2e** — a Fig 11-style `run_stream` point (SwitchFS create, one
   shared directory) reported as completed *operations per wall second*.
 
 Results append to machine-readable trajectory files at the repo root —
-``BENCH_kernel.json`` and ``BENCH_e2e.json`` — so successive PRs can
-demonstrate speedups and catch regressions on the same machine.  Each
+``BENCH_kernel.json``, ``BENCH_rpc.json`` and ``BENCH_e2e.json`` — so
+successive PRs can demonstrate speedups and catch regressions on the
+same machine.  Each
 file holds ``{"schema": 1, "suite": ..., "history": [entry, ...]}``;
 an entry records a label (usually the PR), interpreter version, and the
 per-workload measurements.  Re-recording an existing label replaces that
@@ -37,7 +42,9 @@ from .sweep import make_cluster, scaled_config
 
 __all__ = [
     "KERNEL_WORKLOADS",
+    "RPC_WORKLOADS",
     "bench_kernel",
+    "bench_rpc",
     "bench_e2e",
     "record_entry",
     "load_trajectory",
@@ -213,6 +220,249 @@ def bench_kernel(scale: str = "full", repeats: int = 3) -> Dict[str, Dict[str, f
             "events": events,
             "wall_seconds": round(wall, 6),
             "events_per_sec": round(events / wall, 1) if wall > 0 else float("inf"),
+        }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# RPC / datapath microbenchmarks
+#
+# Each workload drives the real repro.net stack — RpcNode dispatch, packet
+# construction, the Network fabric, and (for the stale-set workload) the
+# ProgrammableSwitch pipeline — with trivial handlers, so the measured rate
+# is the cost of the message path itself, not of any metadata logic.  The
+# unit is one completed RPC / notify / switch-processed packet.
+# ---------------------------------------------------------------------------
+
+
+def _rpc_pair():
+    from ..net import Network, PassthroughSwitch, RpcNode, single_rack_path
+
+    sim = Simulator()
+    net = Network(sim, single_rack_path([PassthroughSwitch()]))
+    client = RpcNode(sim, net, "client")
+    server = RpcNode(sim, net, "server")
+    return sim, net, client, server
+
+
+def rpc_pingpong(rounds: int) -> Tuple[int, float]:
+    """Sequential request/response round trips with a blocking handler.
+
+    The handler yields one service timeout, so every RPC exercises the
+    full path: request packet, dispatch, handler suspension/resume,
+    response packet, completion matching.
+    """
+
+    def run() -> int:
+        sim, net, client, server = _rpc_pair()
+
+        def echo(request, packet):
+            yield sim.timeout(1.0)
+            return request.args
+
+        server.register("echo", echo)
+
+        def driver():
+            for i in range(rounds):
+                yield from client.call("server", "echo", i)
+
+        sim.spawn(driver(), name="driver")
+        sim.run()
+        return rounds
+
+    return _timed(run)
+
+
+def rpc_inline_echo(rounds: int) -> Tuple[int, float]:
+    """Round trips against a handler that completes without blocking.
+
+    The handler returns before its first yield, so an inline-dispatching
+    RPC layer can finish the whole serve without spawning a process; a
+    spawning layer pays full process boot per request.
+    """
+
+    def run() -> int:
+        sim, net, client, server = _rpc_pair()
+
+        def instant(request, packet):
+            return request.args
+            yield  # pragma: no cover - marks the handler as a generator
+
+        server.register("echo", instant)
+
+        def driver():
+            for i in range(rounds):
+                yield from client.call("server", "echo", i)
+
+        sim.spawn(driver(), name="driver")
+        sim.run()
+        return rounds
+
+    return _timed(run)
+
+
+def rpc_multicast(fanout: int, rounds: int) -> Tuple[int, float]:
+    """Scatter-gather fan-out: one multicast_call to *fanout* servers."""
+
+    def run() -> int:
+        from ..net import Network, PassthroughSwitch, RpcNode, single_rack_path
+
+        sim = Simulator()
+        net = Network(sim, single_rack_path([PassthroughSwitch()]))
+        client = RpcNode(sim, net, "client")
+        servers = [RpcNode(sim, net, f"s{i}") for i in range(fanout)]
+
+        def ack(request, packet):
+            yield sim.timeout(1.0)
+            return "ok"
+
+        for s in servers:
+            s.register("ack", ack)
+        dsts = [s.addr for s in servers]
+
+        def driver():
+            for _ in range(rounds):
+                yield from client.multicast_call(dsts, "ack", None)
+
+        sim.spawn(driver(), name="driver")
+        sim.run()
+        return rounds * fanout
+
+    return _timed(run)
+
+
+def rpc_notify_storm(rounds: int) -> Tuple[int, float]:
+    """Fire-and-forget notifications with a one-yield handler."""
+
+    def run() -> int:
+        sim, net, client, server = _rpc_pair()
+        seen = [0]
+
+        def note(request, packet):
+            yield sim.timeout(0.5)
+            seen[0] += 1
+
+        server.register("note", note)
+
+        def driver():
+            for i in range(rounds):
+                client.notify("server", "note", i)
+                yield sim.timeout(1.0)
+
+        sim.spawn(driver(), name="driver")
+        sim.run()
+        assert seen[0] == rounds
+        return rounds
+
+    return _timed(run)
+
+
+def staleset_packets(rounds: int) -> Tuple[int, float]:
+    """Stale-set INSERT packets through the ProgrammableSwitch pipeline.
+
+    Exercises the header codec, pipe routing, register actions, and the
+    switch's completion/unlock multicast (two deliveries per insert).
+    Fingerprints cycle over a fixed population well under capacity, so
+    re-inserts are idempotent successes and the path never falls back.
+    """
+
+    def run() -> int:
+        from ..net import (
+            Network,
+            Packet,
+            STALESET_PORT,
+            StaleSetHeader,
+            StaleSetOp,
+            single_rack_path,
+        )
+        from ..switchfab import ProgrammableSwitch, StaleSetConfig
+
+        sim = Simulator()
+        switch = ProgrammableSwitch(
+            stale_config=StaleSetConfig(num_stages=4, index_bits=10)
+        )
+        switch.install_fingerprint_owner(lambda fp: "server")
+        net = Network(sim, single_rack_path([switch]))
+        server_in = net.attach("server")
+        client_in = net.attach("client")
+
+        def drain(box):
+            while True:
+                yield box.get()
+
+        sim.spawn(drain(server_in), name="drain-server")
+        sim.spawn(drain(client_in), name="drain-client")
+
+        def sender():
+            for i in range(rounds):
+                idx = i % 1024
+                header = StaleSetHeader(
+                    op=StaleSetOp.INSERT, fingerprint=(idx << 32) | (idx + 1)
+                )
+                net.send(
+                    Packet(
+                        src="server", dst="client", payload=None,
+                        port=STALESET_PORT, header=header, size_bytes=64,
+                    )
+                )
+                yield sim.timeout(1.0)
+
+        sim.spawn(sender(), name="sender")
+        sim.run()
+        return rounds
+
+    return _timed(run)
+
+
+#: name -> (factory kwargs for full scale, for tiny scale)
+RPC_WORKLOADS: Dict[str, Dict[str, Dict[str, int]]] = {
+    "rpc_pingpong": {
+        "full": {"rounds": 20_000},
+        "tiny": {"rounds": 1_000},
+    },
+    "rpc_inline_echo": {
+        "full": {"rounds": 20_000},
+        "tiny": {"rounds": 1_000},
+    },
+    "rpc_multicast": {
+        "full": {"fanout": 8, "rounds": 2_500},
+        "tiny": {"fanout": 4, "rounds": 150},
+    },
+    "rpc_notify_storm": {
+        "full": {"rounds": 30_000},
+        "tiny": {"rounds": 1_500},
+    },
+    "staleset_packets": {
+        "full": {"rounds": 20_000},
+        "tiny": {"rounds": 1_000},
+    },
+}
+
+_RPC_FNS: Dict[str, Callable[..., Tuple[int, float]]] = {
+    "rpc_pingpong": rpc_pingpong,
+    "rpc_inline_echo": rpc_inline_echo,
+    "rpc_multicast": rpc_multicast,
+    "rpc_notify_storm": rpc_notify_storm,
+    "staleset_packets": staleset_packets,
+}
+
+
+def bench_rpc(scale: str = "full", repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    """Run the RPC/datapath suite; report the best (min-wall) of *repeats*."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name, scales in RPC_WORKLOADS.items():
+        kwargs = scales[scale]
+        best: Optional[Tuple[int, float]] = None
+        for _ in range(max(1, repeats)):
+            ops, wall = _RPC_FNS[name](**kwargs)
+            if best is None or wall < best[1]:
+                best = (ops, wall)
+        assert best is not None
+        ops, wall = best
+        results[name] = {
+            "ops": ops,
+            "wall_seconds": round(wall, 6),
+            "ops_per_sec": round(ops / wall, 1) if wall > 0 else float("inf"),
         }
     return results
 

@@ -170,16 +170,23 @@ def cmd_compare(args) -> int:
 
 def cmd_perf(args) -> int:
     """Wall-clock suites; see benchmarks/perf/ and EXPERIMENTS.md."""
-    from .bench.perf import bench_e2e, bench_kernel, record_entry
+    from .bench.perf import bench_e2e, bench_kernel, bench_rpc, record_entry
 
     scale = "tiny" if args.tiny else "full"
     kernel = bench_kernel(scale=scale, repeats=args.repeats)
+    rpc = bench_rpc(scale=scale, repeats=args.repeats)
     e2e = bench_e2e(scale=scale)
     print_table(
         f"kernel events/sec ({scale})",
         ["workload", "events/s", "wall s"],
         [[name, f"{r['events_per_sec']:,.0f}", r["wall_seconds"]]
          for name, r in kernel.items()],
+    )
+    print_table(
+        f"rpc/datapath ops/sec ({scale})",
+        ["workload", "ops/s", "wall s"],
+        [[name, f"{r['ops_per_sec']:,.0f}", r["wall_seconds"]]
+         for name, r in rpc.items()],
     )
     print_table(
         f"end-to-end wall clock ({scale})",
@@ -190,10 +197,12 @@ def cmd_perf(args) -> int:
     if not args.no_record:
         out_dir = args.out_dir or os.getcwd()
         kpath = os.path.join(out_dir, "BENCH_kernel.json")
+        rpath = os.path.join(out_dir, "BENCH_rpc.json")
         epath = os.path.join(out_dir, "BENCH_e2e.json")
         record_entry(kpath, "kernel", kernel, label=args.label, scale=scale)
+        record_entry(rpath, "rpc", rpc, label=args.label, scale=scale)
         record_entry(epath, "e2e", e2e, label=args.label, scale=scale)
-        print(f"recorded {args.label!r} -> {kpath}, {epath}")
+        print(f"recorded {args.label!r} -> {kpath}, {rpath}, {epath}")
     return 0
 
 
@@ -272,7 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max sweep worker processes (default: all cores)")
     p.set_defaults(fn=cmd_compare)
 
-    p = sub.add_parser("perf", help="wall-clock kernel + end-to-end suites")
+    p = sub.add_parser("perf", help="wall-clock kernel + rpc + end-to-end suites")
     p.add_argument("--tiny", action="store_true",
                    help="CI-smoke scale (seconds, not minutes)")
     p.add_argument("--repeats", type=int, default=3,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Optional, Tuple
 
 from ..net.packet import FINGERPRINT_BITS
@@ -64,12 +65,17 @@ def new_dir_id(pid: int, name: str, nonce: int) -> int:
     return _h256("dirid", pid, name, nonce) % (1 << 256)
 
 
+@lru_cache(maxsize=1 << 16)
 def fingerprint_of(pid: int, name: str) -> int:
     """The 49-bit fingerprint of directory *name* under parent *pid*.
 
     Multiple directories may share a fingerprint (a *fingerprint group*).
     A fingerprint whose 32 tag bits are zero is remapped to tag 1, since
     the switch reserves register value 0 for "empty".
+
+    Pure and hot (every path resolution hashes its parent), so results are
+    memoised — a hotspot workload asks for the same directory's
+    fingerprint once per operation.
     """
     fp = _h256("fp", pid, name) & ((1 << FINGERPRINT_BITS) - 1)
     if fp & _TAG_MASK == 0:
@@ -77,6 +83,7 @@ def fingerprint_of(pid: int, name: str) -> int:
     return fp
 
 
+@lru_cache(maxsize=1 << 16)
 def owner_of_file(pid: int, name: str, num_servers: int) -> int:
     """Per-file hash partitioning: the server index owning a file inode."""
     return _h256("file-owner", pid, name) % num_servers

@@ -130,12 +130,16 @@ class AggregationProtocol:
         else:
             header = StaleSetHeader(op=StaleSetOp.REMOVE, fingerprint=fp, seq=seq)
             if others:
-                for other in others:
-                    self.node.notify(
-                        other, "agg_ack",
-                        {"fp": fp, "lsns": lsns_by_server.get(other, [])},
-                        header=header,
-                    )
+                # One sweep for the whole ack multicast: every copy shares
+                # the immutable REMOVE header but carries its own LSN list.
+                self._notify_many(
+                    (
+                        (other, {"fp": fp, "lsns": lsns_by_server.get(other, [])})
+                        for other in others
+                    ),
+                    "agg_ack",
+                    header=header,
+                )
             else:
                 # Single-server cluster: still clear the switch state.
                 self.node.notify(self.addr, "agg_ack", {"fp": fp, "lsns": []}, header=header)
@@ -256,7 +260,12 @@ class AggregationProtocol:
         if not self.config.proactive_enabled:
             return
         if len(log) >= self.config.proactive_push_entries:
-            self.sim.spawn(self._push_log(log), name=f"push-{self.addr}")
+            if self.cmap.dir_owner_by_fp(log.fingerprint) == self.addr:
+                # Locally-owned log: nothing to ship (see _push_log); nudge
+                # the grace-period aggregation without a process spawn.
+                self._note_push(log.fingerprint)
+            else:
+                self.sim.spawn(self._push_log(log), name=f"push-{self.addr}")
 
     def _note_push(self, fp: int) -> None:
         self._last_push_at[fp] = self.sim.now

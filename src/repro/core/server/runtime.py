@@ -92,7 +92,11 @@ class ServerRuntime:
             self.phases.add("net", self.sim.now - t0)
 
     def _multicast(self, dsts: List[str], method: str, args: Any) -> Generator:
-        """Multicast RPC to *dsts*; returns values in order (``net`` phase)."""
+        """Multicast RPC to *dsts*; returns values in order (``net`` phase).
+
+        Scatter-gather underneath (one completion event, shared retransmit
+        timer) rather than one call process per destination.
+        """
         t0 = self.sim.now
         try:
             results = yield from self.node.multicast_call(
@@ -103,6 +107,14 @@ class ServerRuntime:
             return results
         finally:
             self.phases.add("net", self.sim.now - t0)
+
+    def _notify_many(self, pairs, method: str, header=None, size_bytes: int = 128) -> None:
+        """Fire-and-forget *method* to many peers in one sweep.
+
+        ``pairs`` yields ``(dst, args)``; no reply, no retransmission, no
+        ``net``-phase charge (matching :meth:`RpcNode.notify`).
+        """
+        self.node.notify_many(pairs, method, header=header, size_bytes=size_bytes)
 
     # ------------------------------------------------------------------
     # service-time accounting

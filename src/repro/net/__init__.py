@@ -3,11 +3,14 @@
 from .faults import FaultDecision, FaultModel
 from .packet import (
     FINGERPRINT_BITS,
+    HEADER_STRUCT,
     Packet,
     REGULAR_PORT,
     STALESET_PORT,
     StaleSetHeader,
     StaleSetOp,
+    alloc_packet,
+    recycle_packet,
 )
 from .rpc import Reply, RpcError, RpcNode, RpcRequest, RpcResponse, RpcTimeout
 from .sniffer import CapturedPacket, Sniffer
@@ -28,6 +31,9 @@ __all__ = [
     "REGULAR_PORT",
     "STALESET_PORT",
     "FINGERPRINT_BITS",
+    "HEADER_STRUCT",
+    "alloc_packet",
+    "recycle_packet",
     "FaultModel",
     "FaultDecision",
     "Network",

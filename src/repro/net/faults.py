@@ -66,6 +66,9 @@ class FaultModel:
         self.dup_prob = dup_prob
         self.reorder_prob = reorder_prob
         self.reorder_jitter_us = reorder_jitter_us
+        #: False when no fault can ever occur; lets the network skip the
+        #: per-packet dice roll (and decision allocation) entirely.
+        self.active = bool(loss_prob or dup_prob or reorder_prob)
 
     @classmethod
     def reliable(cls) -> "FaultModel":
@@ -74,6 +77,8 @@ class FaultModel:
 
     def decide(self) -> FaultDecision:
         """Roll the dice for one transmission."""
+        if not self.active:
+            return _NORMAL
         if self.loss_prob and self._rng.random() < self.loss_prob:
             return FaultDecision(copies=0, extra_delays=())
         copies = 1
@@ -86,3 +91,7 @@ class FaultModel:
             else:
                 delays.append(0.0)
         return FaultDecision(copies=copies, extra_delays=tuple(delays))
+
+
+#: Shared "delivered normally" decision (immutable) for fault-free sends.
+_NORMAL = FaultDecision(copies=1, extra_delays=(0.0,))

@@ -12,6 +12,25 @@ them), but the stale-set header has a real byte-level codec
 the switch parser, mirroring Figure 8's layout::
 
     | OP (1B) | RET (1B) | SEQ (4B) | FINGERPRINT (8B, 49 bits used) |
+
+Fast paths (DESIGN.md §10)
+--------------------------
+Packets are the per-message allocation of the whole datapath, so the hot
+construction paths avoid both dataclass machinery and revalidation:
+
+* :class:`Packet` is a plain ``__slots__`` class.  The public constructor
+  validates the port/header pairing (external callers, tests); the
+  internal :func:`alloc_packet` / :meth:`Packet.clone` paths skip the
+  check because their inputs are already-validated packets.
+* ``alloc_packet`` reuses retired instances from a bounded freelist
+  (mirroring the kernel's Timeout pool).  :func:`recycle_packet` returns
+  a packet only when CPython refcounts prove nothing else holds it, and
+  clears ``payload``/``header`` so a pooled packet can never alias a
+  live packet's fields.
+* :meth:`StaleSetHeader.with_ret` and :meth:`StaleSetHeader.unpack`
+  construct headers through ``object.__new__`` with explicit range
+  checks, skipping the frozen-dataclass ``__init__`` on the switch's
+  per-packet path.
 """
 
 from __future__ import annotations
@@ -19,13 +38,15 @@ from __future__ import annotations
 import enum
 import itertools
 import struct
-from dataclasses import dataclass, field, replace
-from typing import Any, Optional
+import sys
+from typing import Any, List, Optional
 
 __all__ = [
     "StaleSetOp",
     "StaleSetHeader",
     "Packet",
+    "alloc_packet",
+    "recycle_packet",
     "REGULAR_PORT",
     "STALESET_PORT",
     "FINGERPRINT_BITS",
@@ -52,9 +73,10 @@ class StaleSetOp(enum.IntEnum):
     REMOVE = 3
 
 
-@dataclass(frozen=True)
 class StaleSetHeader:
     """The optional switch-visible header at the head of the UDP payload.
+
+    Immutable (all mutation goes through :meth:`with_ret`, which copies).
 
     Attributes
     ----------
@@ -71,18 +93,41 @@ class StaleSetHeader:
         insert succeeded (0 means overflow, triggering sync fallback).
     """
 
-    op: StaleSetOp
-    fingerprint: int = 0
-    seq: int = 0
-    ret: int = 0
+    __slots__ = ("op", "fingerprint", "seq", "ret")
 
-    def __post_init__(self):
-        if not 0 <= self.fingerprint < (1 << FINGERPRINT_BITS):
-            raise ValueError(f"fingerprint out of 49-bit range: {self.fingerprint:#x}")
-        if not 0 <= self.seq < (1 << 32):
-            raise ValueError(f"seq out of 32-bit range: {self.seq}")
-        if self.ret not in (0, 1):
-            raise ValueError(f"ret must be 0 or 1, got {self.ret}")
+    def __init__(self, op: StaleSetOp, fingerprint: int = 0, seq: int = 0, ret: int = 0):
+        if not 0 <= fingerprint < (1 << FINGERPRINT_BITS):
+            raise ValueError(f"fingerprint out of 49-bit range: {fingerprint:#x}")
+        if not 0 <= seq < (1 << 32):
+            raise ValueError(f"seq out of 32-bit range: {seq}")
+        if ret not in (0, 1):
+            raise ValueError(f"ret must be 0 or 1, got {ret}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "fingerprint", fingerprint)
+        object.__setattr__(self, "seq", seq)
+        object.__setattr__(self, "ret", ret)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("StaleSetHeader is immutable")
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, StaleSetHeader):
+            return NotImplemented
+        return (
+            self.op == other.op
+            and self.fingerprint == other.fingerprint
+            and self.seq == other.seq
+            and self.ret == other.ret
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.fingerprint, self.seq, self.ret))
+
+    def __repr__(self) -> str:
+        return (
+            f"StaleSetHeader(op={self.op!r}, fingerprint={self.fingerprint:#x}, "
+            f"seq={self.seq}, ret={self.ret})"
+        )
 
     def pack(self) -> bytes:
         """Serialise to the 14-byte on-wire layout."""
@@ -90,19 +135,45 @@ class StaleSetHeader:
 
     @classmethod
     def unpack(cls, data: bytes) -> "StaleSetHeader":
-        """Parse the on-wire layout back into a header."""
+        """Parse the on-wire layout back into a header.
+
+        Validates the same domains as the constructor (the wire could
+        carry anything) but skips ``__init__`` dispatch: this runs once
+        per stale-set packet in the switch parser.
+        """
         op, ret, seq, fingerprint = HEADER_STRUCT.unpack(data[: HEADER_STRUCT.size])
-        return cls(op=StaleSetOp(op), fingerprint=fingerprint, seq=seq, ret=ret)
+        if fingerprint >= (1 << FINGERPRINT_BITS):
+            raise ValueError(f"fingerprint out of 49-bit range: {fingerprint:#x}")
+        if ret > 1:
+            raise ValueError(f"ret must be 0 or 1, got {ret}")
+        h = object.__new__(cls)
+        object.__setattr__(h, "op", StaleSetOp(op))
+        object.__setattr__(h, "fingerprint", fingerprint)
+        object.__setattr__(h, "seq", seq)
+        object.__setattr__(h, "ret", ret)
+        return h
 
     def with_ret(self, ret: int) -> "StaleSetHeader":
-        """Copy with the switch-written RET field set."""
-        return replace(self, ret=ret)
+        """Copy with the switch-written RET field set (hot switch path)."""
+        h = object.__new__(StaleSetHeader)
+        object.__setattr__(h, "op", self.op)
+        object.__setattr__(h, "fingerprint", self.fingerprint)
+        object.__setattr__(h, "seq", self.seq)
+        object.__setattr__(h, "ret", 1 if ret else 0)
+        return h
 
 
 _packet_ids = itertools.count(1)
 
+# Bounded freelist of retired packets; refcount-guarded like the kernel's
+# Timeout pool (CPython only — elsewhere pooling is simply disabled).
+_refcount = getattr(sys, "getrefcount", None)
+if sys.implementation.name != "cpython":  # pragma: no cover - CPython-only repo
+    _refcount = None
+_PACKET_POOL_MAX = 1024
+_packet_pool: List["Packet"] = []
 
-@dataclass
+
 class Packet:
     """A simulated UDP datagram.
 
@@ -112,33 +183,95 @@ class Packet:
     accounting of proactive change-log pushes.
     """
 
-    src: str
-    dst: str
-    payload: Any
-    port: int = REGULAR_PORT
-    header: Optional[StaleSetHeader] = None
-    size_bytes: int = 128
-    uid: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = ("src", "dst", "payload", "port", "header", "size_bytes", "uid")
 
-    def __post_init__(self):
-        if self.port == STALESET_PORT and self.header is None:
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        port: int = REGULAR_PORT,
+        header: Optional[StaleSetHeader] = None,
+        size_bytes: int = 128,
+    ):
+        if port == STALESET_PORT and header is None:
             raise ValueError("stale-set port packets require a header")
-        if self.port == REGULAR_PORT and self.header is not None:
+        if port == REGULAR_PORT and header is not None:
             raise ValueError("regular-port packets must not carry a header")
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.port = port
+        self.header = header
+        self.size_bytes = size_bytes
+        self.uid = next(_packet_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(src={self.src!r}, dst={self.dst!r}, port={self.port}, "
+            f"uid={self.uid}, payload={self.payload!r})"
+        )
 
     def clone(self, **overrides: Any) -> "Packet":
         """Duplicate this packet (fresh uid), optionally overriding fields.
 
         Used by the fault model for duplication and by the switch for
-        multicast / address rewriting.
+        multicast / address rewriting.  Allocates through the packet pool
+        and skips revalidation — the source fields are already valid and
+        the switch only rewrites ``dst``/``header`` consistently.
         """
-        fields = dict(
-            src=self.src,
-            dst=self.dst,
-            payload=self.payload,
-            port=self.port,
-            header=self.header,
-            size_bytes=self.size_bytes,
+        p = alloc_packet(
+            self.src, self.dst, self.payload, self.port, self.header, self.size_bytes
         )
-        fields.update(overrides)
-        return Packet(**fields)
+        for name, value in overrides.items():
+            setattr(p, name, value)
+        return p
+
+
+def alloc_packet(
+    src: str,
+    dst: str,
+    payload: Any,
+    port: int = REGULAR_PORT,
+    header: Optional[StaleSetHeader] = None,
+    size_bytes: int = 128,
+) -> Packet:
+    """Pooled, validation-free packet construction (internal hot path).
+
+    Callers are the RPC layer and the switch, whose port/header pairing
+    is correct by construction; external code should use ``Packet(...)``,
+    which validates.
+    """
+    if _packet_pool:
+        p = _packet_pool.pop()
+        p.uid = next(_packet_ids)
+    else:
+        p = object.__new__(Packet)
+        p.uid = next(_packet_ids)
+    p.src = src
+    p.dst = dst
+    p.payload = payload
+    p.port = port
+    p.header = header
+    p.size_bytes = size_bytes
+    return p
+
+
+def recycle_packet(p: Packet) -> None:
+    """Return *p* to the freelist if nothing else references it.
+
+    The refcount guard (caller local + our parameter + getrefcount's
+    argument = 3) proves no handler frame, pending-call record, or user
+    variable still holds the packet, so reuse cannot mutate a packet
+    something is still reading.  ``payload``/``header`` are cleared so a
+    pooled packet never keeps live objects reachable — and never aliases
+    a previous packet's header after reallocation.
+    """
+    if (
+        _refcount is not None
+        and len(_packet_pool) < _PACKET_POOL_MAX
+        and _refcount(p) == 3
+    ):
+        p.payload = None
+        p.header = None
+        _packet_pool.append(p)

@@ -14,17 +14,44 @@ on DPDK; ours provides the same facilities on the simulation kernel:
 Handlers are generators: they yield simulation events (lock acquisitions,
 core holds, nested RPCs) and return either a plain value or a
 :class:`Reply` when they need to control the response packet.
+
+Fast paths (DESIGN.md §10)
+--------------------------
+* **Inline dispatch**: an inbound request is served by driving the serve
+  generator directly in the dispatcher's frame.  A handler that returns
+  without blocking (cache hits, pure reads, change-log appends) completes
+  with *zero* process allocations; only a handler that reaches a genuinely
+  pending event is wrapped in a process via :meth:`Simulator.adopt`.
+  The handler itself runs via ``yield from`` inside the serve generator,
+  so even the blocking path costs one process instead of two.
+* **Scatter-gather multicast**: :meth:`RpcNode.multicast_call` sends all
+  requests up front and counts completions on one shared event instead of
+  spawning a process per destination; a single shared timer drives
+  retransmission to the still-unanswered subset.
+* **Packet pooling**: outbound packets come from :func:`alloc_packet`
+  (validation-free, pooled) and the dispatcher recycles inbound packets
+  it finished with, guarded by refcounts so a packet any handler or
+  pending call still references is never reused.
+* **Bounded reply cache**: two-generation rotation caps memory on
+  week-long runs; see :meth:`RpcNode._cache_put`.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import ReproError
-from ..sim import AllOf, Event, Simulator
-from .packet import Packet, REGULAR_PORT, STALESET_PORT, StaleSetHeader
+from ..sim import Event, SimulationError, Simulator
+from .packet import (
+    Packet,
+    REGULAR_PORT,
+    STALESET_PORT,
+    StaleSetHeader,
+    alloc_packet,
+    recycle_packet,
+)
 from .topology import Network
 
 __all__ = ["RpcRequest", "RpcResponse", "Reply", "RpcError", "RpcTimeout", "RpcNode"]
@@ -38,7 +65,18 @@ class RpcTimeout(RpcError):
     """All retransmissions of a request went unanswered."""
 
 
+# rpc_id 0 is reserved for one-way notifications (they never match a
+# response, so they don't consume ids from the shared counter).
 _rpc_ids = itertools.count(1)
+
+#: Sentinel distinguishing "no cache entry" from a cached ``None`` marker.
+_MISSING = object()
+
+#: Sentinel delivered to a waiting call when its retransmit timer fires
+#: first.  Racing the timer and the response on ONE event (whoever
+#: triggers first wins; the loser sees ``triggered`` and backs off) is
+#: cheaper than an AnyOf combinator per attempt.
+_TIMED_OUT = object()
 
 
 @dataclass
@@ -83,28 +121,89 @@ class Reply:
 Handler = Callable[[RpcRequest, Packet], Generator]
 
 
-@dataclass
 class _Pending:
-    event: Event
-    packet: Optional[Packet] = None
+    """Bookkeeping for one in-flight rpc_id.
+
+    For a plain :meth:`RpcNode.call`, ``event`` fires with the response and
+    ``packet`` carries the response packet back to the caller.  For a
+    multicast member, ``gather``/``index`` route the value into the shared
+    :class:`_Gather` instead (and the entry is removed on first response,
+    which is also what dedupes duplicates).
+    """
+
+    __slots__ = ("event", "packet", "response", "gather", "index")
+
+    def __init__(
+        self,
+        event: Optional[Event],
+        gather: Optional["_Gather"] = None,
+        index: int = 0,
+    ):
+        self.event = event
+        self.packet: Optional[Packet] = None
+        # A response that landed in the race window after the retransmit
+        # timer's sentinel fired but before the caller resumed.
+        self.response: Optional[RpcResponse] = None
+        self.gather = gather
+        self.index = index
+
+    def _expire(self, _timeout: Event) -> None:
+        """Retransmit-timer callback: deliver the timeout sentinel unless
+        the response already won the race on this attempt's event."""
+        ev = self.event
+        if not ev._triggered:
+            ev.succeed(_TIMED_OUT)
+
+
+class _Gather:
+    """Scatter-gather completion counter for :meth:`RpcNode.multicast_call`."""
+
+    __slots__ = ("event", "remaining", "values", "error")
+
+    def __init__(self, event: Optional[Event], fanout: int):
+        self.event = event
+        self.remaining = fanout
+        self.values: List[Any] = [None] * fanout
+        self.error: Optional[str] = None
+
+    def _expire(self, _timeout: Event) -> None:
+        ev = self.event
+        if not ev._triggered:
+            ev.succeed(_TIMED_OUT)
 
 
 class RpcNode:
     """One host's RPC endpoint: dispatcher, handlers, and outgoing calls."""
 
-    def __init__(self, sim: Simulator, net: Network, addr: str):
+    #: Entries kept per reply-cache generation (two generations live).
+    REPLY_CACHE_LIMIT = 4096
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        addr: str,
+        reply_cache_limit: int = REPLY_CACHE_LIMIT,
+    ):
         self.sim = sim
         self.net = net
         self.addr = addr
         self._inbox = net.attach(addr)
         self._handlers: Dict[str, Handler] = {}
         self._pending: Dict[int, _Pending] = {}
-        # Reply cache for at-most-once semantics: rpc_id -> Reply | None
-        # (None while the first execution is still in progress).
+        # Reply cache for at-most-once semantics: (src, rpc_id) -> Reply |
+        # None (None while the first execution is still in progress).
+        # Bounded by two-generation rotation: `_reply_cache` is the current
+        # generation; when it fills, it becomes `_reply_cache_old` and a
+        # fresh generation starts.  Hits in the old generation are promoted
+        # back; entries that age out of the old generation are evicted.
         self._reply_cache: Dict[Tuple[str, int], Optional[Reply]] = {}
+        self._reply_cache_old: Dict[Tuple[str, int], Optional[Reply]] = {}
+        self._reply_cache_limit = reply_cache_limit
         self._raw_taps: List[Callable[[Packet], bool]] = []
         self._alive = True
         self.retransmits = 0
+        self.reply_cache_evictions = 0
         sim.spawn(self._dispatch_loop(), name=f"rpc-dispatch-{addr}")
 
     # -- registration --------------------------------------------------------
@@ -148,8 +247,10 @@ class RpcNode:
         and :class:`RpcError` for application errors.
         """
         rpc_id = next(_rpc_ids)
-        pending = _Pending(event=self.sim.event())
+        pending = _Pending(event=None)
         self._pending[rpc_id] = pending
+        sim = self.sim
+        expire = pending._expire
         try:
             for attempt in range(max_attempts):
                 if attempt > 0:
@@ -165,22 +266,25 @@ class RpcNode:
                 header = make_header(attempt) if make_header else None
                 port = STALESET_PORT if header is not None else REGULAR_PORT
                 self.net.send(
-                    Packet(
-                        src=self.addr,
-                        dst=dst,
-                        payload=request,
-                        port=port,
-                        header=header,
-                        size_bytes=size_bytes,
-                    )
+                    alloc_packet(self.addr, dst, request, port, header, size_bytes)
                 )
-                timeout = self.sim.timeout(attempt_timeout)
-                which, _ = yield self.sim.any_of([pending.event, timeout])
-                if which == 0:
-                    response: RpcResponse = pending.event.value
-                    if response.error is not None:
-                        raise RpcError(response.error)
-                    return response.value, pending.packet
+                # Race the response against the retransmit timer on ONE
+                # fresh event (no AnyOf combinator): whichever triggers it
+                # first wins, the loser sees `triggered` and backs off.  A
+                # fresh Timeout's _cb1 slot is always empty, so assign it
+                # directly.
+                ev = sim.event()
+                pending.event = ev
+                sim.timeout(attempt_timeout)._cb1 = expire
+                result = yield ev
+                if result is _TIMED_OUT:
+                    result = pending.response  # may have landed in the race
+                    if result is None:         # window at this timestamp
+                        continue
+                response: RpcResponse = result
+                if response.error is not None:
+                    raise RpcError(response.error)
+                return response.value, pending.packet
             raise RpcTimeout(f"rpc {method} to {dst} timed out after {max_attempts} attempts")
         finally:
             self._pending.pop(rpc_id, None)
@@ -193,21 +297,40 @@ class RpcNode:
         header: Optional[StaleSetHeader] = None,
         size_bytes: int = 128,
     ) -> None:
-        """Fire-and-forget request (no reply, no retransmission)."""
+        """Fire-and-forget request (no reply, no retransmission).
+
+        Uses the reserved ``rpc_id`` 0: notifications never match a
+        response, so they don't consume ids from the shared counter (which
+        would inflate ids and muddy reply-cache keying diagnostics).
+        """
         request = RpcRequest(
-            rpc_id=next(_rpc_ids), method=method, args=args, src=self.addr, wants_reply=False
+            rpc_id=0, method=method, args=args, src=self.addr, wants_reply=False
         )
         port = STALESET_PORT if header is not None else REGULAR_PORT
-        self.net.send(
-            Packet(
-                src=self.addr,
-                dst=dst,
-                payload=request,
-                port=port,
-                header=header,
-                size_bytes=size_bytes,
+        self.net.send(alloc_packet(self.addr, dst, request, port, header, size_bytes))
+
+    def notify_many(
+        self,
+        pairs: Iterable[Tuple[str, Any]],
+        method: str,
+        header: Optional[StaleSetHeader] = None,
+        size_bytes: int = 128,
+    ) -> None:
+        """Fire-and-forget *method* to many destinations in one sweep.
+
+        ``pairs`` yields ``(dst, args)``; *header* (shared, immutable) is
+        attached to every packet.  Used for the aggregation ack multicast,
+        where each recipient gets its own LSN payload under one REMOVE
+        header.
+        """
+        addr = self.addr
+        send = self.net.send
+        port = STALESET_PORT if header is not None else REGULAR_PORT
+        for dst, args in pairs:
+            request = RpcRequest(
+                rpc_id=0, method=method, args=args, src=addr, wants_reply=False
             )
-        )
+            send(alloc_packet(addr, dst, request, port, header, size_bytes))
 
     def multicast_call(
         self,
@@ -216,17 +339,61 @@ class RpcNode:
         args: Any,
         timeout_us: float = 100.0,
         max_attempts: int = 5,
+        size_bytes: int = 128,
     ) -> Generator:
-        """Generator: call every destination, return list of values in order."""
-        procs = [
-            self.sim.spawn(
-                self.call(dst, method, args, timeout_us=timeout_us, max_attempts=max_attempts),
-                name=f"mcall-{method}-{dst}",
+        """Generator: call every destination, return list of values in order.
+
+        Scatter-gather: all requests go out up front; responses decrement a
+        counter on one shared completion event, and one shared timer
+        retransmits to whichever destinations haven't answered.  Compared
+        with per-destination :meth:`call` processes this costs O(1) events
+        per round instead of O(fanout) processes.
+        """
+        if not dsts:
+            return []
+        sim = self.sim
+        gather = _Gather(None, len(dsts))
+        ids: List[int] = []
+        for index in range(len(dsts)):
+            rpc_id = next(_rpc_ids)
+            ids.append(rpc_id)
+            self._pending[rpc_id] = _Pending(None, gather, index)
+        addr = self.addr
+        send = self.net.send
+        pending_map = self._pending
+        expire = gather._expire
+        try:
+            for attempt in range(max_attempts):
+                attempt_timeout = timeout_us * min(2 ** attempt, 64)
+                for index, dst in enumerate(dsts):
+                    rpc_id = ids[index]
+                    if rpc_id not in pending_map:
+                        continue  # already answered
+                    if attempt > 0:
+                        self.retransmits += 1
+                    request = RpcRequest(
+                        rpc_id=rpc_id, method=method, args=args, src=addr, attempt=attempt
+                    )
+                    send(alloc_packet(addr, dst, request, REGULAR_PORT, None, size_bytes))
+                # Same timer/response race as `call`: one fresh event per
+                # round, sentinel on timeout.  The extra remaining/error
+                # check catches completions that land in the sentinel's
+                # race window (the shared event can only trigger once).
+                ev = sim.event()
+                gather.event = ev
+                sim.timeout(attempt_timeout)._cb1 = expire
+                result = yield ev
+                if result is not _TIMED_OUT or gather.remaining == 0 or gather.error:
+                    if gather.error is not None:
+                        raise RpcError(gather.error)
+                    return list(gather.values)
+            raise RpcTimeout(
+                f"rpc {method} multicast to {len(dsts)} hosts timed out "
+                f"after {max_attempts} attempts"
             )
-            for dst in dsts
-        ]
-        results = yield AllOf(self.sim, procs)
-        return [value for value, _pkt in results]
+        finally:
+            for rpc_id in ids:
+                pending_map.pop(rpc_id, None)
 
     def send_response(
         self,
@@ -239,45 +406,116 @@ class RpcNode:
         dst = reply.dst or request.src
         port = STALESET_PORT if reply.header is not None else REGULAR_PORT
         self.net.send(
-            Packet(
-                src=self.addr,
-                dst=dst,
-                payload=response,
-                port=port,
-                header=reply.header,
-                size_bytes=reply.size_bytes,
-            )
+            alloc_packet(self.addr, dst, response, port, reply.header, reply.size_bytes)
         )
 
     # -- dispatcher -------------------------------------------------------------
     def _dispatch_loop(self) -> Generator:
+        inbox_get = self._inbox.get
         while True:
-            packet: Packet = yield self._inbox.get()
+            packet: Packet = yield inbox_get()
             if not self._alive:
-                continue  # crashed host: packets fall on the floor
-            consumed = False
-            for tap in self._raw_taps:
-                if tap(packet):
-                    consumed = True
-                    break
-            if consumed:
+                # Crashed host: packets fall on the floor.
+                recycle_packet(packet)
                 continue
+            if self._raw_taps:
+                consumed = False
+                for tap in self._raw_taps:
+                    if tap(packet):
+                        consumed = True
+                        break
+                if consumed:
+                    recycle_packet(packet)
+                    continue
             payload = packet.payload
             if isinstance(payload, RpcResponse):
-                self._complete(payload, packet)
+                if not self._complete(payload, packet):
+                    recycle_packet(packet)
             elif isinstance(payload, RpcRequest):
-                self.sim.spawn(
-                    self._serve(payload, packet),
-                    name=f"serve-{payload.method}@{self.addr}",
-                )
-            # Unknown payloads are dropped silently (UDP semantics).
+                if self._start_serve(payload, packet):
+                    recycle_packet(packet)
+            else:
+                # Unknown payloads are dropped silently (UDP semantics).
+                recycle_packet(packet)
 
-    def _complete(self, response: RpcResponse, packet: Packet) -> None:
+    def _complete(self, response: RpcResponse, packet: Packet) -> bool:
+        """Route a response to its waiter; True if *packet* was retained."""
         pending = self._pending.get(response.rpc_id)
-        if pending is None or pending.event.triggered:
-            return  # duplicate or late response
-        pending.packet = packet
-        pending.event.succeed(response)
+        if pending is None:
+            return False  # duplicate, late, or notification echo
+        gather = pending.gather
+        if gather is None:
+            ev = pending.event
+            if ev is None or ev._triggered:
+                # The retransmit timer's sentinel beat us at this timestamp;
+                # stash the response so the caller picks it up on resume
+                # instead of paying a full retransmission round trip.
+                pending.response = response
+                pending.packet = packet
+                return True
+            pending.packet = packet
+            ev.succeed(response)
+            return True
+        # Multicast member: first response wins; removing the entry is what
+        # makes later duplicates fall through to the `pending is None` path.
+        del self._pending[response.rpc_id]
+        if response.error is not None:
+            if gather.error is None:
+                gather.error = response.error
+            if not gather.event.triggered:
+                gather.event.succeed()  # fail fast, mirroring AllOf semantics
+            return False
+        gather.values[pending.index] = response.value
+        gather.remaining -= 1
+        if gather.remaining == 0 and not gather.event.triggered:
+            gather.event.succeed()
+        return False
+
+    def _start_serve(self, request: RpcRequest, packet: Packet) -> bool:
+        """Drive the serve generator inline; True if it completed.
+
+        This is the inline-dispatch fast path: the generator runs in the
+        dispatcher's frame until it either finishes (no process allocated
+        at all) or yields a genuinely pending event, at which point it is
+        handed to :meth:`Simulator.adopt` to continue as a process.  The
+        loop mirrors the kernel's ``Process._resume`` trampoline, including
+        the already-processed (immediate grant) fast path.
+        """
+        gen = self._serve(request, packet)
+        sim = self.sim
+        value: Any = None
+        exc: Optional[BaseException] = None
+        while True:
+            try:
+                if exc is None:
+                    target = gen.send(value)
+                else:
+                    err, exc = exc, None
+                    target = gen.throw(err)
+            except StopIteration:
+                return True
+            except Exception:  # noqa: BLE001 - parity with spawned serve:
+                # a spawned _serve that raised would fail its process event
+                # with no observer; the inline path likewise must not take
+                # down the dispatch loop.
+                return True
+            if not isinstance(target, Event):
+                value = None
+                exc = SimulationError(
+                    f"process 'serve-{request.method}@{self.addr}' "
+                    f"yielded non-event {target!r}"
+                )
+                continue
+            if target.sim is not sim:
+                value = None
+                exc = SimulationError("yielded event from another simulator")
+                continue
+            if target._processed:
+                value = target._value
+                exc = target._exc
+                continue
+            sim.adopt(gen, target, name=f"serve-{request.method}@{self.addr}")
+            return False
 
     def _serve(self, request: RpcRequest, packet: Packet) -> Generator:
         handler = self._handlers.get(request.method)
@@ -288,21 +526,21 @@ class RpcNode:
                     Reply(error=f"no handler for method {request.method!r} on {self.addr}"),
                     packet,
                 )
-            return
+            return None
         cache_key = (request.src, request.rpc_id)
         if request.wants_reply:
-            if cache_key in self._reply_cache:
-                cached = self._reply_cache[cache_key]
+            cached = self._cache_get(cache_key)
+            if cached is not _MISSING:
                 if cached is not None:
                     self.send_response(request, cached, packet)
                 # else: first execution still running; drop the duplicate —
                 # the client will retransmit again if the reply is lost.
-                return
-            self._reply_cache[cache_key] = None
+                return None
+            self._cache_put(cache_key, None)
         try:
-            result = yield self.sim.spawn(
-                handler(request, packet), name=f"handler-{request.method}@{self.addr}"
-            )
+            # The handler runs inside this generator (yield from) instead of
+            # as a second spawned process; its events pass straight through.
+            result = yield from handler(request, packet)
         except RpcError as exc:
             result = Reply(error=str(exc))
         except Exception as exc:  # noqa: BLE001 - a crashed handler must not
@@ -311,10 +549,45 @@ class RpcNode:
             result = Reply(error=f"EINTERNAL: {type(exc).__name__}: {exc}")
         reply = result if isinstance(result, Reply) else Reply(value=result)
         if request.wants_reply:
-            self._reply_cache[cache_key] = reply
+            self._cache_put(cache_key, reply)
             if self._alive:
                 self.send_response(request, reply, packet)
+        return None
+
+    # -- reply cache -------------------------------------------------------
+    def _cache_get(self, key: Tuple[str, int]) -> Any:
+        """Look up *key*; returns the entry or :data:`_MISSING`.
+
+        Old-generation hits are promoted into the current generation so a
+        still-retransmitting client keeps its at-most-once guarantee for as
+        long as it keeps asking.
+        """
+        entry = self._reply_cache.get(key, _MISSING)
+        if entry is not _MISSING:
+            return entry
+        entry = self._reply_cache_old.pop(key, _MISSING)
+        if entry is not _MISSING:
+            self._reply_cache[key] = entry
+        return entry
+
+    def _cache_put(self, key: Tuple[str, int], value: Optional[Reply]) -> None:
+        """Insert into the current generation, rotating when it fills.
+
+        Rotation drops the previous old generation — except in-progress
+        markers (``None``): an execution that is still running must keep
+        its marker or a retransmit would re-execute the handler, breaking
+        at-most-once.  Dropped entries count in ``reply_cache_evictions``.
+        """
+        cache = self._reply_cache
+        if key not in cache and len(cache) >= self._reply_cache_limit:
+            dying = self._reply_cache_old
+            carried = {k: v for k, v in dying.items() if v is None and k not in cache}
+            self.reply_cache_evictions += len(dying) - len(carried)
+            self._reply_cache_old = cache
+            cache = self._reply_cache = carried
+        cache[key] = value
 
     def clear_reply_cache(self) -> None:
         """Drop at-most-once state (used when simulating a server restart)."""
         self._reply_cache.clear()
+        self._reply_cache_old.clear()

@@ -238,19 +238,26 @@ class Process(Event):
 
     __slots__ = ("gen", "name", "_waiting_on", "_started", "_resume_cb")
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "", boot: bool = True):
         super().__init__(sim)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        self._started = False
         # One bound method reused for every wait, instead of allocating a
         # fresh one per yield.
         self._resume_cb = self._resume
-        # Boot without a kick-off event: the process is its own heap entry;
-        # _run_callbacks dispatches on _started.  Heap position (and hence
-        # deterministic tie-break order) matches the old boot event exactly.
-        heapq.heappush(sim._heap, (sim._now, next(sim._counter), self))
+        if boot:
+            self._started = False
+            # Boot without a kick-off event: the process is its own heap
+            # entry; _run_callbacks dispatches on _started.  Heap position
+            # (and hence deterministic tie-break order) matches the old
+            # boot event exactly.
+            heapq.heappush(sim._heap, (sim._now, next(sim._counter), self))
+        else:
+            # Adopted process (Simulator.adopt): the generator already ran
+            # inline up to its first pending yield; the caller wires the
+            # resume callback onto that event.
+            self._started = True
 
     @property
     def is_alive(self) -> bool:
@@ -514,6 +521,27 @@ class Simulator:
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start a new process from generator *gen*."""
         return Process(self, gen, name=name)
+
+    def adopt(self, gen: Generator, waiting_on: Event, name: str = "") -> Process:
+        """Wrap an already-started generator in a process (inline dispatch).
+
+        The caller has driven *gen* inline until it yielded the pending
+        event *waiting_on*; this registers a process to continue it when
+        that event fires.  Unlike :meth:`spawn`, no boot heap entry is
+        consumed — the generator's past execution already happened in the
+        caller's frame.  Invariant: *waiting_on* must be pending (a
+        processed event would never resume the adopted process).
+        """
+        if waiting_on._processed:
+            raise SimulationError("adopt requires a pending event")
+        proc = Process(self, gen, name=name, boot=False)
+        proc._waiting_on = waiting_on
+        # Inlined add_callback single-waiter case (mirrors Process._resume).
+        if waiting_on._cb1 is None and waiting_on.callbacks is None:
+            waiting_on._cb1 = proc._resume_cb
+        else:
+            waiting_on.add_callback(proc._resume_cb)
+        return proc
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)

@@ -81,6 +81,28 @@ class RegisterStage:
             self._regs[index] = EMPTY
             self.occupied -= 1
 
+    # -- unchecked variants (switch datapath fast path) --------------------
+    # Same register actions without the domain checks.  Only the stale set
+    # calls these, after StaleSet.split() has already proven
+    # 0 <= index < size and 0 < tag < 2^32 for the whole pipeline pass;
+    # re-checking per stage would validate identical values ten times per
+    # packet.  External callers use the checked actions above.
+    def query_unchecked(self, index: int, tag: int) -> bool:
+        return self._regs[index] == tag
+
+    def conditional_insert_unchecked(self, index: int, tag: int) -> bool:
+        current = self._regs[index]
+        if current == EMPTY:
+            self._regs[index] = tag
+            self.occupied += 1
+            return True
+        return current == tag
+
+    def conditional_remove_unchecked(self, index: int, tag: int) -> None:
+        if self._regs[index] == tag:
+            self._regs[index] = EMPTY
+            self.occupied -= 1
+
     def reset(self) -> None:
         """Clear every register (switch failure / control-plane flush)."""
         self._regs = [EMPTY] * self.size

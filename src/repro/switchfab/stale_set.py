@@ -70,6 +70,7 @@ class StaleSet:
             RegisterStage(self.config.registers_per_stage)
             for _ in range(self.config.num_stages)
         ]
+        self._index_mask = self.config.registers_per_stage - 1
         # Largest REMOVE sequence number seen per source address (§4.4.1).
         self._remove_seq: Dict[str, int] = {}
         self.inserts = 0
@@ -79,26 +80,40 @@ class StaleSet:
         self.queries = 0
 
     # -- fingerprint split -----------------------------------------------------
-    def _split(self, fingerprint: int) -> (int, int):
+    def split(self, fingerprint: int) -> (int, int):
+        """Decompose a 49-bit fingerprint into (stage index, 32-bit tag).
+
+        Validates once for a whole pipeline pass; the per-stage register
+        actions below then run unchecked on the proven-valid pair.
+        """
         if not 0 <= fingerprint < (1 << FINGERPRINT_BITS):
             raise ValueError(f"fingerprint out of 49-bit range: {fingerprint:#x}")
-        index = (fingerprint >> TAG_BITS) & (self.config.registers_per_stage - 1)
-        tag = fingerprint & ((1 << TAG_BITS) - 1)
+        index = (fingerprint >> TAG_BITS) & self._index_mask
+        tag = fingerprint & 0xFFFFFFFF
         if tag == 0:
             # Tag 0 means "empty register"; fingerprint generation avoids it
             # (see repro.core.schema.fingerprint_of) so hitting this is a bug.
             raise ValueError("fingerprint with tag 0 cannot be stored")
         return index, tag
 
+    # Backwards-compatible alias (pre-fast-path name).
+    _split = split
+
     # -- operations ---------------------------------------------------------
     def query(self, fingerprint: int) -> bool:
-        """Is *fingerprint* in the set?  (Stale-set QUERY.)"""
+        """Is *fingerprint* in the set?  (Stale-set QUERY.)
+
+        Early-exits on the first hit and skips empty stages entirely — a
+        register stage with ``occupied == 0`` cannot match any tag.  The
+        hardware ORs all stages unconditionally, but the result is
+        identical, and queries are read-only so no interleaving changes.
+        """
         self.queries += 1
-        index, tag = self._split(fingerprint)
-        hit = False
+        index, tag = self.split(fingerprint)
         for stage in self._stages:
-            hit = hit or stage.query(index, tag)
-        return hit
+            if stage.occupied and stage._regs[index] == tag:
+                return True
+        return False
 
     def insert(self, fingerprint: int) -> bool:
         """Add *fingerprint*; False on overflow (all ways full).
@@ -106,16 +121,16 @@ class StaleSet:
         Following Figure 9: stages attempt *conditional insert* one by one
         until the first success; every subsequent stage performs
         *conditional remove* so a tag duplicated by concurrent inserts is
-        cleaned up.
+        cleaned up (skipped for empty stages, which cannot hold the tag).
         """
         self.inserts += 1
-        index, tag = self._split(fingerprint)
+        index, tag = self.split(fingerprint)
         inserted = False
         for stage in self._stages:
             if not inserted:
-                inserted = stage.conditional_insert(index, tag)
-            else:
-                stage.conditional_remove(index, tag)
+                inserted = stage.conditional_insert_unchecked(index, tag)
+            elif stage.occupied:
+                stage.conditional_remove_unchecked(index, tag)
         if not inserted:
             self.insert_overflows += 1
         return inserted
@@ -134,9 +149,10 @@ class StaleSet:
                 return False
             self._remove_seq[source] = seq
         self.removes += 1
-        index, tag = self._split(fingerprint)
+        index, tag = self.split(fingerprint)
         for stage in self._stages:
-            stage.conditional_remove(index, tag)
+            if stage.occupied:
+                stage.conditional_remove_unchecked(index, tag)
         return True
 
     # -- introspection -----------------------------------------------------

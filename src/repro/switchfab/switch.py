@@ -57,6 +57,9 @@ class ProgrammableSwitch:
         ]
         self._fingerprint_owner = fingerprint_owner
         self._pipe_of_host = pipe_of_host or (lambda host: hash(host) % num_pipes)
+        # Host → pipe results are stable for a run; memoise so the hot
+        # per-packet mirror check is one dict probe instead of a callback.
+        self._pipe_of_host_cache: dict = {}
         self.mirrored = 0
         self.forwarded = 0
         self.multicasts = 0
@@ -97,7 +100,11 @@ class ProgrammableSwitch:
         header = StaleSetHeader.unpack(packet.header.pack())
         pipe_idx = self._pipe_index(header.fingerprint)
         stale_set = self._pipes[pipe_idx]
-        if self._pipe_of_host(packet.dst) != pipe_idx:
+        cache = self._pipe_of_host_cache
+        dst_pipe = cache.get(packet.dst)
+        if dst_pipe is None:
+            dst_pipe = cache[packet.dst] = self._pipe_of_host(packet.dst)
+        if dst_pipe != pipe_idx:
             # Destination port belongs to another pipe: mirror to reach it.
             self.mirrored += 1
 

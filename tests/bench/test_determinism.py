@@ -8,6 +8,9 @@ of the figure benchmarks twice and diff every ``RunResult`` field.
 """
 
 from repro.bench import make_cluster, run_stream, scaled_config
+from repro.core.cluster import SwitchFSCluster
+from repro.net import FaultModel
+from repro.sim import make_rng
 from repro.workloads import (
     FixedOpStream,
     MixStream,
@@ -51,6 +54,23 @@ def _mix_point():
     return run_stream(cluster, stream, total_ops=250, inflight=8)
 
 
+def _faulty_point():
+    """Hotspot point over a lossy, duplicating fabric.
+
+    Exercises the datapath fast paths end to end — inline serve dispatch,
+    scatter-gather multicast, packet pooling, retransmission, and the
+    reply cache — under fault injection, where a single perturbed event
+    ordering would cascade into different retransmit decisions.
+    """
+    cluster = SwitchFSCluster(
+        scaled_config(num_servers=4, seed=31),
+        faults=FaultModel(make_rng(31, "net"), loss_prob=0.05, dup_prob=0.05),
+    )
+    pop = bootstrap(cluster, single_large_directory(200), warm_clients=[0])
+    stream = FixedOpStream("create", pop, seed=31, dir_choice="single")
+    return run_stream(cluster, stream, total_ops=200, inflight=8)
+
+
 class TestRunDeterminism:
     def test_switchfs_hotspot_identical_across_runs(self):
         assert _fingerprint(_hotspot_point("SwitchFS")) == _fingerprint(
@@ -64,6 +84,11 @@ class TestRunDeterminism:
 
     def test_mix_stream_identical_across_runs(self):
         assert _fingerprint(_mix_point()) == _fingerprint(_mix_point())
+
+    def test_inline_dispatch_identical_under_faults(self):
+        """The inlined RPC dispatch must stay bit-identical per seed even
+        when loss/duplication drives the retransmission machinery."""
+        assert _fingerprint(_faulty_point()) == _fingerprint(_faulty_point())
 
     def test_different_load_actually_changes_the_run(self):
         """Guard against the fingerprint being insensitive (e.g. all-empty)."""

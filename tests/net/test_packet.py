@@ -6,12 +6,14 @@ from hypothesis import strategies as st
 
 from repro.net import (
     FINGERPRINT_BITS,
+    HEADER_STRUCT,
     Packet,
     REGULAR_PORT,
     STALESET_PORT,
     StaleSetHeader,
     StaleSetOp,
 )
+from repro.net.packet import alloc_packet, recycle_packet
 
 
 class TestStaleSetHeader:
@@ -52,6 +54,92 @@ class TestStaleSetHeader:
     def test_roundtrip_property(self, op, fingerprint, seq, ret):
         h = StaleSetHeader(op=op, fingerprint=fingerprint, seq=seq, ret=ret)
         assert StaleSetHeader.unpack(h.pack()) == h
+
+
+class TestStaleSetHeaderBoundaries:
+    """Codec behaviour at the 49-bit fingerprint edge and the EMPTY tag."""
+
+    @pytest.mark.parametrize(
+        "fp",
+        [0, 1, (1 << 32) - 1, 1 << 32, (1 << 48) - 1, 1 << 48, (1 << 49) - 1],
+    )
+    def test_roundtrip_across_49_bit_boundary(self, fp):
+        h = StaleSetHeader(op=StaleSetOp.INSERT, fingerprint=fp, seq=7, ret=1)
+        assert StaleSetHeader.unpack(h.pack()) == h
+
+    def test_unpack_rejects_fingerprint_past_49_bits(self):
+        # The 8-byte wire field is wider than the 49-bit domain; unpack
+        # must enforce the same range as the constructor.
+        raw = HEADER_STRUCT.pack(int(StaleSetOp.QUERY), 0, 0, 1 << FINGERPRINT_BITS)
+        with pytest.raises(ValueError):
+            StaleSetHeader.unpack(raw)
+
+    def test_unpack_rejects_out_of_domain_ret(self):
+        raw = HEADER_STRUCT.pack(int(StaleSetOp.QUERY), 2, 0, 1)
+        with pytest.raises(ValueError):
+            StaleSetHeader.unpack(raw)
+
+    def test_reserved_empty_tag_roundtrips_verbatim(self):
+        # A fingerprint whose low 32 tag bits are zero collides with the
+        # switch's reserved "empty register" value.  The codec carries it
+        # verbatim — the remap to tag 1 happens in schema.fingerprint_of,
+        # not on the wire.
+        fp = 5 << 32
+        h = StaleSetHeader(op=StaleSetOp.QUERY, fingerprint=fp)
+        assert StaleSetHeader.unpack(h.pack()).fingerprint == fp
+
+    def test_fingerprint_of_never_emits_empty_tag(self):
+        from repro.core.schema import fingerprint_of
+
+        for i in range(200):
+            assert fingerprint_of(i, f"d{i}") & ((1 << 32) - 1) != 0
+
+    @given(
+        fingerprint=st.one_of(
+            st.sampled_from([0, 1 << 32, 1 << 48, (1 << 49) - 1]),
+            st.integers(min_value=0, max_value=(1 << FINGERPRINT_BITS) - 1),
+        ),
+        seq=st.sampled_from([0, 1, (1 << 32) - 1]),
+    )
+    def test_with_ret_preserves_fields(self, fingerprint, seq):
+        h = StaleSetHeader(op=StaleSetOp.QUERY, fingerprint=fingerprint, seq=seq)
+        h2 = h.with_ret(1)
+        assert (h2.op, h2.fingerprint, h2.seq, h2.ret) == (h.op, h.fingerprint, h.seq, 1)
+        assert StaleSetHeader.unpack(h2.pack()) == h2
+
+
+class TestPacketPool:
+    """Regression tests for the bounded packet freelist (DESIGN.md §10)."""
+
+    def test_recycled_packet_never_aliases_previous_header(self):
+        h = StaleSetHeader(op=StaleSetOp.INSERT, fingerprint=3)
+        p = alloc_packet("a", "b", {"v": 1}, STALESET_PORT, h, 64)
+        old_uid = p.uid
+        recycle_packet(p)
+        del p
+        q = alloc_packet("c", "d", "payload")
+        # Reused or fresh, the new packet carries no stale header/payload
+        # and a fresh uid.
+        assert q.header is None
+        assert q.payload == "payload"
+        assert q.uid != old_uid
+
+    def test_live_packet_is_not_recycled(self):
+        p = alloc_packet("a", "b", "x")
+        keep = p  # second reference: the refcount guard must refuse to pool
+        recycle_packet(p)
+        q = alloc_packet("c", "d", "y")
+        assert q is not p
+        assert keep.payload == "x"  # untouched by the failed recycle
+
+    def test_clone_of_pooled_packet_is_independent(self):
+        h = StaleSetHeader(op=StaleSetOp.QUERY, fingerprint=9)
+        p = alloc_packet("a", "b", "x", STALESET_PORT, h)
+        q = p.clone(dst="c")
+        assert q.uid != p.uid and q.dst == "c" and p.dst == "b"
+        assert q.header is p.header  # headers are immutable, sharing is safe
+        recycle_packet(q)
+        assert p.header is h  # recycling the clone never touches the original
 
 
 class TestPacket:

@@ -218,6 +218,158 @@ class TestCrash:
         assert value == "alive"
 
 
+class TestFaultModelRpc:
+    """RPC-layer behaviour under the lossy/duplicating fault model."""
+
+    def test_multicast_completes_under_loss(self):
+        sim = Simulator()
+        faults = FaultModel(make_rng(3, "loss"), loss_prob=0.3)
+        net = Network(sim, single_rack_path([PassthroughSwitch()]), faults=faults)
+        client = RpcNode(sim, net, "client")
+        servers = [RpcNode(sim, net, f"s{i}") for i in range(4)]
+        executions = []
+
+        def make_handler(i):
+            def handler(request, packet):
+                executions.append((i, request.rpc_id))
+                yield sim.timeout(0.5)
+                return f"v{i}"
+
+            return handler
+
+        for i, s in enumerate(servers):
+            s.register("m", make_handler(i))
+        proc = sim.spawn(
+            client.multicast_call(
+                [f"s{i}" for i in range(4)], "m", None, timeout_us=20.0, max_attempts=10
+            ),
+            name="mc",
+        )
+        values = sim.run_process(proc)
+        assert values == ["v0", "v1", "v2", "v3"]
+        # At-most-once held per destination despite retransmission.
+        assert len(executions) == len(set(executions)) == 4
+
+    def test_at_most_once_under_duplication(self):
+        sim = Simulator()
+        faults = FaultModel(make_rng(5, "dup"), dup_prob=0.5)
+        net = Network(sim, single_rack_path([PassthroughSwitch()]), faults=faults)
+        client = RpcNode(sim, net, "client")
+        server = RpcNode(sim, net, "server")
+        executions = []
+
+        def handler(request, packet):
+            executions.append(request.rpc_id)
+            yield sim.timeout(0.5)
+            return "ok"
+
+        server.register("h", handler)
+        for _ in range(20):
+            value, _ = run_call(sim, client, "server", "h", None)
+            assert value == "ok"
+        # Every duplicated request hit the reply cache, never the handler.
+        assert len(executions) == 20
+
+    def test_reply_cache_bounded_with_eviction_counter(self):
+        sim = Simulator()
+        net = Network(sim, single_rack_path([PassthroughSwitch()]))
+        client = RpcNode(sim, net, "client")
+        server = RpcNode(sim, net, "server", reply_cache_limit=8)
+
+        def handler(request, packet):
+            yield sim.timeout(0.1)
+            return "r"
+
+        server.register("h", handler)
+        for _ in range(50):
+            run_call(sim, client, "server", "h", None)
+        # Two-generation rotation: at most 2x the limit live at once.
+        assert len(server._reply_cache) + len(server._reply_cache_old) <= 16
+        assert server.reply_cache_evictions > 0
+
+    def test_fresh_header_seq_per_retransmission(self):
+        """make_header(attempt) runs per transmission: REMOVE gets a new SEQ."""
+        from repro.net import StaleSetHeader, StaleSetOp
+
+        sim, net, client, server = setup_pair()
+        sent_seqs = []
+        orig_send = net.send
+
+        def spy(p):
+            if p.header is not None:
+                sent_seqs.append(p.header.seq)
+            orig_send(p)
+
+        net.send = spy
+
+        def handler(request, packet):
+            yield sim.timeout(50.0)  # slower than the first client timeout
+            return "done"
+
+        server.register("h", handler)
+        value, _ = run_call(
+            sim,
+            client,
+            "server",
+            "h",
+            None,
+            make_header=lambda attempt: StaleSetHeader(
+                op=StaleSetOp.REMOVE, fingerprint=1, seq=attempt
+            ),
+            timeout_us=10.0,
+            max_attempts=8,
+        )
+        assert value == "done"
+        assert len(sent_seqs) >= 2  # at least one retransmission happened
+        assert len(set(sent_seqs)) == len(sent_seqs)  # every resend: fresh SEQ
+
+    def test_duplicated_remove_filtered_by_switch_end_to_end(self):
+        """A duplicated REMOVE (same SEQ) must not clear a newer insert."""
+        from repro.net import Packet, STALESET_PORT, StaleSetHeader, StaleSetOp
+        from repro.switchfab import ProgrammableSwitch, StaleSetConfig
+
+        sim = Simulator()
+        # dup_prob=1: the fabric duplicates every packet, simulating the
+        # worst-case retransmission storm of §4.4.1.
+        faults = FaultModel(make_rng(9, "dup"), dup_prob=1.0)
+        sw = ProgrammableSwitch(
+            stale_config=StaleSetConfig(num_stages=2, index_bits=3),
+            fingerprint_owner=lambda fp: "server",
+        )
+        net = Network(sim, single_rack_path([sw]), faults=faults)
+        RpcNode(sim, net, "client")
+        RpcNode(sim, net, "server")
+        fp = 0x1_0000_0001
+
+        def staleset(op, seq=0):
+            return Packet(
+                src="server",
+                dst="client",
+                payload=None,
+                port=STALESET_PORT,
+                header=StaleSetHeader(op=op, fingerprint=fp, seq=seq),
+            )
+
+        net.send(staleset(StaleSetOp.INSERT))
+        sim.run()
+        net.send(staleset(StaleSetOp.REMOVE, seq=7))  # delivered twice
+        sim.run()
+        # Re-insert after the remove: the duplicate REMOVE (same seq=7)
+        # arriving afterwards must be discarded, not clear this entry.
+        net.send(staleset(StaleSetOp.INSERT))
+        sim.run()
+        probe = sw.process(
+            Packet(
+                src="client",
+                dst="server",
+                payload=None,
+                port=STALESET_PORT,
+                header=StaleSetHeader(op=StaleSetOp.QUERY, fingerprint=fp),
+            )
+        )
+        assert probe[0].header.ret == 1
+
+
 class TestRawTap:
     def test_tap_consumes_packet(self):
         sim, net, client, server = setup_pair()
