@@ -1,0 +1,51 @@
+"""Storage-engine ops/sec microbenchmark — writes ``BENCH_store.json``.
+
+Measures the wall-clock rate of the server-side storage engine
+(:mod:`repro.kvstore`): entry-list puts into one large directory,
+put/delete churn, prefix scans interleaved with writes, a
+create/statdir mix, and WAL append/mark-applied bookkeeping.  Usage
+mirrors ``perf_kernel.py``::
+
+    PYTHONPATH=src python benchmarks/perf/perf_store.py --label pr4
+    PYTHONPATH=src python benchmarks/perf/perf_store.py --tiny --no-record
+
+See EXPERIMENTS.md ("Wall-clock methodology") for how to read the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+if os.path.isdir(os.path.join(REPO_ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.perf import bench_store, record_entry  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="dev", help="trajectory entry label")
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI-smoke scale (seconds, not minutes)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="take best wall time of N runs (default 3)")
+    parser.add_argument("--out", default=os.path.join(REPO_ROOT, "BENCH_store.json"))
+    parser.add_argument("--no-record", action="store_true",
+                        help="print results without touching the trajectory file")
+    args = parser.parse_args(argv)
+
+    scale = "tiny" if args.tiny else "full"
+    results = bench_store(scale=scale, repeats=args.repeats)
+    print(json.dumps(results, indent=2))
+    if not args.no_record:
+        record_entry(args.out, "store", results, label=args.label, scale=scale)
+        print(f"recorded entry {args.label!r} -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,11 +15,18 @@ host.  Two suites:
   (RPC ping-pong, multicast fan-out, notify storms, stale-set packets
   through the programmable switch), reported as *operations per wall
   second* where an operation is one completed RPC / notify / packet.
+* **store** — microbenchmarks of the server-side storage engine in
+  :mod:`repro.kvstore` (put-heavy large-directory fill, put/delete
+  churn, scan-after-writes merge amortisation, a create/statdir mix,
+  and WAL bookkeeping churn), reported as *storage operations per wall
+  second* where an operation is one put / delete / count / scan row /
+  WAL record.
 * **e2e** — a Fig 11-style `run_stream` point (SwitchFS create, one
   shared directory) reported as completed *operations per wall second*.
 
 Results append to machine-readable trajectory files at the repo root —
-``BENCH_kernel.json``, ``BENCH_rpc.json`` and ``BENCH_e2e.json`` — so
+``BENCH_kernel.json``, ``BENCH_rpc.json``, ``BENCH_store.json`` and
+``BENCH_e2e.json`` — so
 successive PRs can demonstrate speedups and catch regressions on the
 same machine.  Each
 file holds ``{"schema": 1, "suite": ..., "history": [entry, ...]}``;
@@ -43,8 +50,10 @@ from .sweep import make_cluster, scaled_config
 __all__ = [
     "KERNEL_WORKLOADS",
     "RPC_WORKLOADS",
+    "STORE_WORKLOADS",
     "bench_kernel",
     "bench_rpc",
+    "bench_store",
     "bench_e2e",
     "record_entry",
     "load_trajectory",
@@ -455,6 +464,176 @@ def bench_rpc(scale: str = "full", repeats: int = 3) -> Dict[str, Dict[str, floa
         best: Optional[Tuple[int, float]] = None
         for _ in range(max(1, repeats)):
             ops, wall = _RPC_FNS[name](**kwargs)
+            if best is None or wall < best[1]:
+                best = (ops, wall)
+        assert best is not None
+        ops, wall = best
+        results[name] = {
+            "ops": ops,
+            "wall_seconds": round(wall, 6),
+            "ops_per_sec": round(ops / wall, 1) if wall > 0 else float("inf"),
+        }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# storage-engine microbenchmarks
+#
+# Each workload drives the real repro.kvstore engine (KVStore + WAL) with the
+# access patterns the metadata servers generate: entry-list puts under one
+# hot directory, statdir-style prefix counts, readdir-style prefix scans, and
+# WAL append/mark-applied bookkeeping.  The unit is one storage operation
+# (put / delete / count / scanned row / WAL record), fixed by construction so
+# rates compare across engine versions.  Key construction happens outside the
+# timed region — the measured cost is the engine, not str formatting.
+# ---------------------------------------------------------------------------
+
+
+def _shuffled_entry_keys(n: int, dir_id: int = 1):
+    """Deterministic non-monotonic insertion order (hash-partitioned names
+    arrive in arbitrary lexicographic positions, the worst case for a
+    sorted-insert index)."""
+    step = 514229  # coprime to any n used here (fibonacci prime)
+    return [("E", dir_id, f"f{(i * step) % n:08d}") for i in range(n)]
+
+
+def store_put_heavy(entries: int) -> Tuple[int, float]:
+    """Fill one large directory with *entries* puts in shuffled name order,
+    then count and scan it once — the create-storm path under a hotspot."""
+    from ..kvstore import KVStore
+
+    keys = _shuffled_entry_keys(entries)
+    kv = KVStore()
+    t0 = time.perf_counter()
+    put = kv.put
+    for key in keys:
+        put(key, None)
+    count = kv.count_prefix(("E", 1))
+    scanned = sum(1 for _ in kv.scan_prefix(("E", 1)))
+    wall = time.perf_counter() - t0
+    assert count == entries and scanned == entries
+    return entries + 2, wall
+
+
+def store_put_delete_churn(rounds: int) -> Tuple[int, float]:
+    """Alternating put/delete across two directories: steady-state point-op
+    cost including count-bookkeeping, with no net growth."""
+    from ..kvstore import KVStore
+
+    keys = [("E", 1 + (i & 1), f"f{i % 64:04d}") for i in range(rounds)]
+    kv = KVStore()
+    t0 = time.perf_counter()
+    for key in keys:
+        kv.put(key, None)
+        kv.delete(key)
+    wall = time.perf_counter() - t0
+    return rounds * 2, wall
+
+
+def store_scan_after_writes(rounds: int, writes: int) -> Tuple[int, float]:
+    """*rounds* of (*writes* puts, then one full prefix scan) into a growing
+    directory: readdir interleaved with creates, the merge-amortisation
+    pattern."""
+    from ..kvstore import KVStore
+
+    kv = KVStore()
+    total_scanned = 0
+    t0 = time.perf_counter()
+    for r in range(rounds):
+        base = r * writes
+        for i in range(writes):
+            kv.put(("E", 1, f"f{base + i:08d}"), None)
+        total_scanned += sum(1 for _ in kv.scan_prefix(("E", 1)))
+    wall = time.perf_counter() - t0
+    return rounds * writes + total_scanned, wall
+
+
+def store_create_statdir_mix(ops: int) -> Tuple[int, float]:
+    """Large-directory create/statdir mix: 3 entry puts per statdir-style
+    count, plus an occasional readdir-style scan — the Fig-11 server-side
+    storage profile."""
+    from ..kvstore import KVStore
+
+    keys = _shuffled_entry_keys(ops)
+    kv = KVStore()
+    t0 = time.perf_counter()
+    for i, key in enumerate(keys):
+        kv.put(key, None)
+        if i % 4 == 3:
+            kv.count_prefix(("E", 1))
+        if i % 1024 == 1023:
+            sum(1 for _ in kv.scan_prefix(("E", 1)))
+    wall = time.perf_counter() - t0
+    return ops, wall
+
+
+def store_wal_bookkeeping(rounds: int, batch: int) -> Tuple[int, float]:
+    """WAL churn: append a batch of change-log records, mark them applied,
+    checkpoint — the aggregation-side bookkeeping cycle.  Uses the batched
+    WAL API when the engine provides it, falling back to per-record calls."""
+    from ..kvstore import WriteAheadLog
+
+    wal = WriteAheadLog()
+    append_many = getattr(wal, "append_many", None)
+    mark_many = getattr(wal, "mark_applied_many", None)
+    payloads = [("dir", i) for i in range(batch)]
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        if append_many is not None:
+            lsns = append_many("changelog", payloads)
+        else:
+            lsns = [wal.append("changelog", p) for p in payloads]
+        if mark_many is not None:
+            mark_many(lsns)
+        else:
+            for lsn in lsns:
+                wal.mark_applied_if_present(lsn)
+        wal.checkpoint()
+    wall = time.perf_counter() - t0
+    return rounds * batch, wall
+
+
+#: name -> (factory kwargs for full scale, for tiny scale)
+STORE_WORKLOADS: Dict[str, Dict[str, Dict[str, int]]] = {
+    "store_put_heavy": {
+        "full": {"entries": 30_000},
+        "tiny": {"entries": 2_000},
+    },
+    "store_put_delete_churn": {
+        "full": {"rounds": 30_000},
+        "tiny": {"rounds": 2_000},
+    },
+    "store_scan_after_writes": {
+        "full": {"rounds": 150, "writes": 200},
+        "tiny": {"rounds": 20, "writes": 40},
+    },
+    "store_create_statdir_mix": {
+        "full": {"ops": 8_000},
+        "tiny": {"ops": 600},
+    },
+    "store_wal_bookkeeping": {
+        "full": {"rounds": 300, "batch": 200},
+        "tiny": {"rounds": 30, "batch": 50},
+    },
+}
+
+_STORE_FNS: Dict[str, Callable[..., Tuple[int, float]]] = {
+    "store_put_heavy": store_put_heavy,
+    "store_put_delete_churn": store_put_delete_churn,
+    "store_scan_after_writes": store_scan_after_writes,
+    "store_create_statdir_mix": store_create_statdir_mix,
+    "store_wal_bookkeeping": store_wal_bookkeeping,
+}
+
+
+def bench_store(scale: str = "full", repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    """Run the storage-engine suite; report the best (min-wall) of *repeats*."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name, scales in STORE_WORKLOADS.items():
+        kwargs = scales[scale]
+        best: Optional[Tuple[int, float]] = None
+        for _ in range(max(1, repeats)):
+            ops, wall = _STORE_FNS[name](**kwargs)
             if best is None or wall < best[1]:
                 best = (ops, wall)
         assert best is not None

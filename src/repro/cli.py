@@ -154,7 +154,52 @@ def _compare_point(point: dict) -> List:
             round(result.mean_latency_us, 1)]
 
 
+def _compare_trajectories(labels: str, out_dir: Optional[str]) -> int:
+    """Print per-workload speedups between two labels across every
+    BENCH_*.json trajectory file present (kernel, rpc, store, e2e)."""
+    from .bench.perf import compare_rates, load_trajectory
+
+    older, _, newer = labels.partition(",")
+    older, newer = older.strip(), newer.strip()
+    if not older or not newer:
+        print("error: --perf-labels wants OLD,NEW", file=sys.stderr)
+        return 2
+    base = out_dir or os.getcwd()
+    suites = [
+        ("kernel", "BENCH_kernel.json", "events_per_sec"),
+        ("rpc", "BENCH_rpc.json", "ops_per_sec"),
+        ("store", "BENCH_store.json", "ops_per_sec"),
+        ("e2e", "BENCH_e2e.json", "wall_ops_per_sec"),
+    ]
+    shown = 0
+    for suite, fname, rate_key in suites:
+        path = os.path.join(base, fname)
+        if not os.path.exists(path):
+            continue
+        data = load_trajectory(path, suite)
+        labels_present = {e.get("label") for e in data["history"]}
+        if older not in labels_present or newer not in labels_present:
+            continue
+        speedups = compare_rates(data, rate_key, older, newer)
+        print_table(
+            f"{suite}: {newer} / {older} ({rate_key})",
+            ["workload", "speedup"],
+            [[name, f"{s:,.3f}x"] for name, s in speedups.items()],
+        )
+        shown += 1
+    if not shown:
+        print(
+            f"error: no trajectory file under {base} has both labels "
+            f"{older!r} and {newer!r}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_compare(args) -> int:
+    if args.perf_labels:
+        return _compare_trajectories(args.perf_labels, args.out_dir)
     systems = [s.strip() for s in args.systems.split(",")]
     arg_dict = {k: v for k, v in vars(args).items() if k != "fn"}
     points = [{"system": system, "args": arg_dict} for system in systems]
@@ -168,41 +213,75 @@ def cmd_compare(args) -> int:
     return 0
 
 
+# Wall-clock suites: name -> (bench runner kwargs key, trajectory file,
+# rate key, table headers).  ``repro perf --suite`` picks among them.
+PERF_SUITES = ("kernel", "rpc", "store", "e2e")
+
+
 def cmd_perf(args) -> int:
     """Wall-clock suites; see benchmarks/perf/ and EXPERIMENTS.md."""
-    from .bench.perf import bench_e2e, bench_kernel, bench_rpc, record_entry
+    from .bench.perf import (
+        bench_e2e,
+        bench_kernel,
+        bench_rpc,
+        bench_store,
+        record_entry,
+    )
 
     scale = "tiny" if args.tiny else "full"
-    kernel = bench_kernel(scale=scale, repeats=args.repeats)
-    rpc = bench_rpc(scale=scale, repeats=args.repeats)
-    e2e = bench_e2e(scale=scale)
-    print_table(
-        f"kernel events/sec ({scale})",
-        ["workload", "events/s", "wall s"],
-        [[name, f"{r['events_per_sec']:,.0f}", r["wall_seconds"]]
-         for name, r in kernel.items()],
-    )
-    print_table(
-        f"rpc/datapath ops/sec ({scale})",
-        ["workload", "ops/s", "wall s"],
-        [[name, f"{r['ops_per_sec']:,.0f}", r["wall_seconds"]]
-         for name, r in rpc.items()],
-    )
-    print_table(
-        f"end-to-end wall clock ({scale})",
-        ["benchmark", "ops/s wall", "wall s"],
-        [[name, f"{r['wall_ops_per_sec']:,.0f}", r["wall_seconds"]]
-         for name, r in e2e.items()],
-    )
-    if not args.no_record:
-        out_dir = args.out_dir or os.getcwd()
-        kpath = os.path.join(out_dir, "BENCH_kernel.json")
-        rpath = os.path.join(out_dir, "BENCH_rpc.json")
-        epath = os.path.join(out_dir, "BENCH_e2e.json")
-        record_entry(kpath, "kernel", kernel, label=args.label, scale=scale)
-        record_entry(rpath, "rpc", rpc, label=args.label, scale=scale)
-        record_entry(epath, "e2e", e2e, label=args.label, scale=scale)
-        print(f"recorded {args.label!r} -> {kpath}, {rpath}, {epath}")
+    selected = PERF_SUITES if args.suite == "all" else (args.suite,)
+    recorded = []
+    out_dir = args.out_dir or os.getcwd()
+    if "kernel" in selected:
+        kernel = bench_kernel(scale=scale, repeats=args.repeats)
+        print_table(
+            f"kernel events/sec ({scale})",
+            ["workload", "events/s", "wall s"],
+            [[name, f"{r['events_per_sec']:,.0f}", r["wall_seconds"]]
+             for name, r in kernel.items()],
+        )
+        if not args.no_record:
+            path = os.path.join(out_dir, "BENCH_kernel.json")
+            record_entry(path, "kernel", kernel, label=args.label, scale=scale)
+            recorded.append(path)
+    if "rpc" in selected:
+        rpc = bench_rpc(scale=scale, repeats=args.repeats)
+        print_table(
+            f"rpc/datapath ops/sec ({scale})",
+            ["workload", "ops/s", "wall s"],
+            [[name, f"{r['ops_per_sec']:,.0f}", r["wall_seconds"]]
+             for name, r in rpc.items()],
+        )
+        if not args.no_record:
+            path = os.path.join(out_dir, "BENCH_rpc.json")
+            record_entry(path, "rpc", rpc, label=args.label, scale=scale)
+            recorded.append(path)
+    if "store" in selected:
+        store = bench_store(scale=scale, repeats=args.repeats)
+        print_table(
+            f"storage engine ops/sec ({scale})",
+            ["workload", "ops/s", "wall s"],
+            [[name, f"{r['ops_per_sec']:,.0f}", r["wall_seconds"]]
+             for name, r in store.items()],
+        )
+        if not args.no_record:
+            path = os.path.join(out_dir, "BENCH_store.json")
+            record_entry(path, "store", store, label=args.label, scale=scale)
+            recorded.append(path)
+    if "e2e" in selected:
+        e2e = bench_e2e(scale=scale)
+        print_table(
+            f"end-to-end wall clock ({scale})",
+            ["benchmark", "ops/s wall", "wall s"],
+            [[name, f"{r['wall_ops_per_sec']:,.0f}", r["wall_seconds"]]
+             for name, r in e2e.items()],
+        )
+        if not args.no_record:
+            path = os.path.join(out_dir, "BENCH_e2e.json")
+            record_entry(path, "e2e", e2e, label=args.label, scale=scale)
+            recorded.append(path)
+    if recorded:
+        print(f"recorded {args.label!r} -> {', '.join(recorded)}")
     return 0
 
 
@@ -279,9 +358,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run systems in-process instead of across a process pool")
     p.add_argument("--jobs", type=int, default=None,
                    help="max sweep worker processes (default: all cores)")
+    p.add_argument("--perf-labels", default=None, metavar="OLD,NEW",
+                   help="instead of simulating, print wall-clock speedups "
+                        "between two trajectory labels across BENCH_*.json "
+                        "(kernel, rpc, store, e2e)")
+    p.add_argument("--out-dir", default=None,
+                   help="directory holding BENCH_*.json (with --perf-labels; "
+                        "default: cwd)")
     p.set_defaults(fn=cmd_compare)
 
-    p = sub.add_parser("perf", help="wall-clock kernel + rpc + end-to-end suites")
+    p = sub.add_parser("perf", help="wall-clock kernel + rpc + store + e2e suites")
+    p.add_argument("--suite", default="all",
+                   choices=("all",) + PERF_SUITES,
+                   help="run one suite only (default: all)")
     p.add_argument("--tiny", action="store_true",
                    help="CI-smoke scale (seconds, not minutes)")
     p.add_argument("--repeats", type=int, default=3,

@@ -70,7 +70,13 @@ class RecastLog:
 
 @dataclass
 class ChangeLog:
-    """The change-log one server holds for one remote directory."""
+    """The change-log one server holds for one remote directory.
+
+    ``max_timestamp`` and ``entry_delta`` are *running* values maintained
+    on every :meth:`append`, so :meth:`recast` consolidates in O(1) — the
+    recast state is computed as the log grows, never re-derived from a
+    scan of the entries (DESIGN.md §11).
+    """
 
     dir_id: int
     fingerprint: int
@@ -78,23 +84,47 @@ class ChangeLog:
     # WAL LSNs of the records covering these entries (marked applied on ack).
     wal_lsns: List[int] = field(default_factory=list)
     last_append_at: float = 0.0
+    # Running recast state (invariant: max/sum over `entries`).
+    max_timestamp: float = 0.0
+    entry_delta: int = 0
 
     def append(self, entry: ChangeLogEntry, lsn: int, now: float) -> None:
         self.entries.append(entry)
         self.wal_lsns.append(lsn)
         self.last_append_at = now
+        if entry.timestamp > self.max_timestamp:
+            self.max_timestamp = entry.timestamp
+        self.entry_delta += entry.op.entry_delta
+
+    def extend(self, entries: List[ChangeLogEntry], lsns: List[int], now: float) -> None:
+        """Batched :meth:`append` — one bookkeeping pass per shipment."""
+        self.entries.extend(entries)
+        self.wal_lsns.extend(lsns)
+        self.last_append_at = now
+        max_ts = self.max_timestamp
+        delta = self.entry_delta
+        for entry in entries:
+            if entry.timestamp > max_ts:
+                max_ts = entry.timestamp
+            delta += entry.op.entry_delta
+        self.max_timestamp = max_ts
+        self.entry_delta = delta
 
     def __len__(self) -> int:
         return len(self.entries)
 
     def recast(self) -> RecastLog:
-        """Consolidate timestamps; keep the op queue (§4.3 *Recast*)."""
+        """Consolidate timestamps; keep the op queue (§4.3 *Recast*).
+
+        O(1) in the log length (modulo the op-queue reference copy): the
+        consolidated values are the running ones.
+        """
         if not self.entries:
             return RecastLog(dir_id=self.dir_id, max_timestamp=0.0, entry_delta=0, ops=[])
         return RecastLog(
             dir_id=self.dir_id,
-            max_timestamp=max(e.timestamp for e in self.entries),
-            entry_delta=sum(e.op.entry_delta for e in self.entries),
+            max_timestamp=self.max_timestamp,
+            entry_delta=self.entry_delta,
             ops=list(self.entries),
         )
 
@@ -102,7 +132,38 @@ class ChangeLog:
         """Remove and return all entries with their WAL LSNs."""
         entries, lsns = self.entries, self.wal_lsns
         self.entries, self.wal_lsns = [], []
+        self.max_timestamp = 0.0
+        self.entry_delta = 0
         return entries, lsns
+
+    def detach(self, entry: ChangeLogEntry, lsn: int) -> bool:
+        """Remove one entry that was applied out-of-band (sync fallback).
+
+        Returns False when the entry is gone (drained by a racing
+        aggregation — harmless).  The rare removal recomputes the running
+        recast state: ``entry_delta`` just subtracts, but ``max_timestamp``
+        is a max and cannot be decremented incrementally.
+        """
+        try:
+            idx = self.entries.index(entry)
+        except ValueError:
+            return False
+        self.entries.pop(idx)
+        self.wal_lsns.remove(lsn)
+        self.entry_delta -= entry.op.entry_delta
+        if entry.timestamp >= self.max_timestamp:
+            self.max_timestamp = max(
+                (e.timestamp for e in self.entries), default=0.0
+            )
+        return True
+
+    def load(self, entries: List[ChangeLogEntry], lsns: List[int]) -> None:
+        """Replace contents wholesale (checkpoint restore); rebuilds the
+        running recast state from the loaded entries."""
+        self.entries = list(entries)
+        self.wal_lsns = list(lsns)
+        self.max_timestamp = max((e.timestamp for e in self.entries), default=0.0)
+        self.entry_delta = sum(e.op.entry_delta for e in self.entries)
 
 
 class ChangeLogTable:
@@ -111,11 +172,21 @@ class ChangeLogTable:
     The fingerprint index exists because aggregation operates on whole
     fingerprint groups (§4.1): a pull request names a fingerprint and must
     collect the logs of every directory in that group.
+
+    A *live* index (``_live_by_fp``) tracks which logs are non-empty so
+    that :meth:`non_empty_groups` — polled every sweep by the idle pusher —
+    and :meth:`pending_entries` cost O(pending groups) instead of a rescan
+    of every log ever created.  Every append path registers the log;
+    a log drained behind the table's back (the push path drains the
+    :class:`ChangeLog` directly) leaves a stale index entry, which reads
+    filter and garbage-collect lazily (DESIGN.md §11).
     """
 
     def __init__(self):
         self._by_dir: Dict[int, ChangeLog] = {}
-        self._dirs_by_fp: Dict[int, set] = {}
+        # fp -> insertion-ordered set (dict keyed by dir_id) of logs that
+        # *may* be non-empty; superset of the truly non-empty ones.
+        self._live_by_fp: Dict[int, Dict[int, None]] = {}
         self.total_appends = 0
 
     def log_for(self, dir_id: int, fingerprint: int) -> ChangeLog:
@@ -124,24 +195,72 @@ class ChangeLogTable:
         if log is None:
             log = ChangeLog(dir_id=dir_id, fingerprint=fingerprint)
             self._by_dir[dir_id] = log
-            self._dirs_by_fp.setdefault(fingerprint, set()).add(dir_id)
         return log
 
     def existing(self, dir_id: int) -> Optional[ChangeLog]:
         return self._by_dir.get(dir_id)
+
+    def _mark_live(self, fingerprint: int, dir_id: int) -> None:
+        group = self._live_by_fp.get(fingerprint)
+        if group is None:
+            self._live_by_fp[fingerprint] = {dir_id: None}
+        else:
+            group[dir_id] = None
 
     def append(
         self, dir_id: int, fingerprint: int, entry: ChangeLogEntry, lsn: int, now: float
     ) -> ChangeLog:
         log = self.log_for(dir_id, fingerprint)
         log.append(entry, lsn, now)
+        self._mark_live(fingerprint, dir_id)
         self.total_appends += 1
+        return log
+
+    def extend(
+        self,
+        dir_id: int,
+        fingerprint: int,
+        entries: List[ChangeLogEntry],
+        lsns: List[int],
+        now: float,
+    ) -> ChangeLog:
+        """Batched append: one shipment of entries in one bookkeeping pass."""
+        log = self.log_for(dir_id, fingerprint)
+        if entries:
+            log.extend(entries, lsns, now)
+            self._mark_live(fingerprint, dir_id)
+            self.total_appends += len(entries)
+        return log
+
+    def load(
+        self,
+        dir_id: int,
+        fingerprint: int,
+        entries: List[ChangeLogEntry],
+        lsns: List[int],
+    ) -> ChangeLog:
+        """Replace a log's contents wholesale (checkpoint restore)."""
+        log = self.log_for(dir_id, fingerprint)
+        log.load(entries, lsns)
+        if entries:
+            self._mark_live(fingerprint, dir_id)
         return log
 
     def logs_in_group(self, fingerprint: int) -> List[ChangeLog]:
         """All non-empty change-logs in a fingerprint group."""
-        ids = self._dirs_by_fp.get(fingerprint, ())
-        return [self._by_dir[d] for d in ids if len(self._by_dir[d])]
+        group = self._live_by_fp.get(fingerprint)
+        if not group:
+            return []
+        by_dir = self._by_dir
+        result = [by_dir[d] for d in group if len(by_dir[d])]
+        if len(result) != len(group):
+            # Garbage-collect entries drained behind the table's back.
+            stale = [d for d in group if not len(by_dir[d])]
+            for d in stale:
+                del group[d]
+            if not group:
+                del self._live_by_fp[fingerprint]
+        return result
 
     def drain_group(self, fingerprint: int) -> List[Tuple[int, List[ChangeLogEntry], List[int]]]:
         """Drain every log in the group; returns (dir_id, entries, lsns) triples."""
@@ -150,27 +269,41 @@ class ChangeLogTable:
             entries, lsns = log.drain()
             if entries:
                 result.append((log.dir_id, entries, lsns))
+        self._live_by_fp.pop(fingerprint, None)
         return result
 
     def drain_all(self) -> List[Tuple[int, int, List[ChangeLogEntry], List[int]]]:
         """Drain everything (switch-failure flush); (dir_id, fp, entries, lsns)."""
         result = []
-        for dir_id, log in self._by_dir.items():
-            entries, lsns = log.drain()
-            if entries:
-                result.append((dir_id, log.fingerprint, entries, lsns))
+        for fp in list(self._live_by_fp):
+            for dir_id, entries, lsns in self.drain_group(fp):
+                result.append((dir_id, fp, entries, lsns))
         return result
 
     def pending_entries(self) -> int:
-        return sum(len(log) for log in self._by_dir.values())
+        by_dir = self._by_dir
+        return sum(
+            len(by_dir[d]) for group in self._live_by_fp.values() for d in group
+        )
 
     def non_empty_groups(self) -> List[int]:
-        return [
-            fp
-            for fp, ids in self._dirs_by_fp.items()
-            if any(len(self._by_dir[d]) for d in ids)
-        ]
+        """Fingerprint groups with pending entries — O(live groups).
+
+        Lazily drops groups whose logs were all drained directly (the
+        stale-superset discipline of ``_live_by_fp``).
+        """
+        by_dir = self._by_dir
+        live: List[int] = []
+        dead_fps: List[int] = []
+        for fp, group in self._live_by_fp.items():
+            if any(len(by_dir[d]) for d in group):
+                live.append(fp)
+            else:
+                dead_fps.append(fp)
+        for fp in dead_fps:
+            del self._live_by_fp[fp]
+        return live
 
     def clear(self) -> None:
         self._by_dir.clear()
-        self._dirs_by_fp.clear()
+        self._live_by_fp.clear()

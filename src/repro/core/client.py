@@ -230,10 +230,28 @@ class LibFS:
     def statdir(self, path: str) -> Generator:
         return (yield from self._dir_read("statdir", path))
 
-    def readdir(self, path: str) -> Generator:
-        return (yield from self._dir_read("readdir", path))
+    def readdir(
+        self,
+        path: str,
+        start_after: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> Generator:
+        """List a directory.  *start_after*/*limit* paginate: entries
+        strictly after the token, at most *limit* of them; a truncated
+        reply carries ``next`` — the token for the following page."""
+        return (
+            yield from self._dir_read(
+                "readdir", path, start_after=start_after, limit=limit
+            )
+        )
 
-    def _dir_read(self, method: str, path: str) -> Generator:
+    def _dir_read(
+        self,
+        method: str,
+        path: str,
+        start_after: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> Generator:
         """Directory reads carry a QUERY header the switch fills in (§4.2.2)."""
 
         def attempt() -> Generator:
@@ -246,6 +264,10 @@ class LibFS:
                 "ancestor_ids": target.ancestor_ids[:-1],
                 "path": path,
             }
+            if start_after is not None:
+                args["start_after"] = start_after
+            if limit is not None:
+                args["limit"] = limit
             header = None
             if self.config.stale_backend == "switch":
                 fp = target.fingerprint

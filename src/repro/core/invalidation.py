@@ -39,6 +39,10 @@ class InvalidationList:
     def insert(self, dir_id: int) -> None:
         self._ids.add(dir_id)
 
+    def discard(self, dir_id: int) -> None:
+        """Revert an invalidation (rmdir found the directory non-empty)."""
+        self._ids.discard(dir_id)
+
     def validate(self, ancestor_ids: Iterable[int]) -> bool:
         """True when *no* ancestor has been invalidated."""
         self.checks += 1

@@ -144,8 +144,7 @@ class AggregationProtocol:
                 # Single-server cluster: still clear the switch state.
                 self.node.notify(self.addr, "agg_ack", {"fp": fp, "lsns": []}, header=header)
         for _dir_id, _entries, lsns in local:
-            for lsn in lsns:
-                self.wal.mark_applied_if_present(lsn)
+            self.wal.mark_applied_many(lsns)
 
     def _ss_remove(self, fp: int, seq: int) -> Generator:
         yield from self.ss.remove(fp, self.addr, seq)
@@ -211,11 +210,7 @@ class AggregationProtocol:
         fp = request.args.get("fp")
         if fp is not None:
             self._release_pull_locks(fp)
-        for lsn in request.args.get("lsns", []):
-            try:
-                self.wal.mark_applied(lsn)
-            except KeyError:
-                pass  # checkpointed already
+        self.wal.mark_applied_many(request.args.get("lsns", []))
 
     # ------------------------------------------------------------------
     # rmdir support: invalidation
@@ -244,7 +239,7 @@ class AggregationProtocol:
 
     def _handle_uninvalidate(self, request: RpcRequest, packet: Packet) -> Generator:
         yield from self._cpu(self.perf.changelog_append_us)
-        self.inval._ids.discard(request.args["dir_id"])
+        self.inval.discard(request.args["dir_id"])
 
     def _handle_aggregate_now(self, request: RpcRequest, packet: Packet) -> Generator:
         """Force-aggregate a fingerprint group (rename preparation)."""

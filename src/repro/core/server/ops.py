@@ -221,7 +221,7 @@ class ServerOps:
                 # Not empty: revert the invalidation so the directory stays
                 # usable, then fail.
                 if invalidated:
-                    self.inval._ids.discard(dir_id)
+                    self.inval.discard(dir_id)
                     for other in self.cmap.others(self.addr):
                         self.node.notify(other, "uninvalidate", {"dir_id": dir_id})
                 raise FSError(ENOTEMPTY, f"{pid}/{name}")
@@ -311,13 +311,8 @@ class ServerOps:
 
     def _detach_entry(self, log: ChangeLog, entry: ChangeLogEntry, lsn: int) -> None:
         """Remove a change-log entry that was applied synchronously."""
-        try:
-            idx = log.entries.index(entry)
-        except ValueError:
-            return  # already drained by a racing aggregation: harmless
-        log.entries.pop(idx)
-        log.wal_lsns.remove(lsn)
-        self.wal.mark_applied_if_present(lsn)
+        if log.detach(entry, lsn):
+            self.wal.mark_applied_if_present(lsn)
 
     def _unlock_watchdog(self, token: int) -> Generator:
         """Release a deferred unlock whose switch notification was lost.

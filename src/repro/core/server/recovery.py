@@ -11,7 +11,7 @@ blocks operations for the duration (§4.4.2).
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Dict, Generator, Optional, Tuple
 
 from ...net import Packet, RpcError, RpcRequest
 
@@ -90,20 +90,24 @@ class CrashRecovery:
         if image is not None:
             self.kv.restore(image["kv"])
             for dir_id, fp, entries, lsns in image["changelogs"]:
-                log = self.changelogs.log_for(dir_id, fp)
-                log.entries = list(entries)
-                log.wal_lsns = list(lsns)
+                self.changelogs.load(dir_id, fp, entries, lsns)
             self.inval.restore(image["inval"])
             self._dir_index.update(image["dir_index"])
             self.counters.inc("recovered_from_checkpoint")
         replayed = self.kv.recover()
-        # Rebuild change-logs from unapplied change-log records.
+        # Rebuild change-logs from unapplied change-log records, grouped by
+        # directory so each log takes one batched extend.
         changelog_records = [
             r for r in self.wal.replay() if r.kind == "changelog"
         ]
+        grouped: Dict[Tuple[int, int], Tuple[list, list]] = {}
         for record in changelog_records:
             dir_id, fp, entry = record.payload
-            self.changelogs.append(dir_id, fp, entry, record.lsn, self.sim.now)
+            entries, lsns = grouped.setdefault((dir_id, fp), ([], []))
+            entries.append(entry)
+            lsns.append(record.lsn)
+        for (dir_id, fp), (entries, lsns) in grouped.items():
+            self.changelogs.extend(dir_id, fp, entries, lsns, self.sim.now)
         # Rebuild the dir index and entry counts from the recovered KV state.
         for key, inode in list(self.kv.scan_prefix(("D",))):
             self._dir_index[inode.id] = key

@@ -13,14 +13,31 @@ relies on:
   replays the WAL (§4.4.2, "servers maintain data structures in DRAM").
 
 Keys are ``(pid, name)`` tuples ordered lexicographically; values are
-opaque objects.  A sorted key index maintained with ``bisect`` gives
-O(log n) point ops and O(log n + k) prefix scans.
+opaque objects.
+
+The layout is LSM-flavoured, the way RocksDB's memtable + sorted runs
+make AsyncFS's entry-list puts cheap (DESIGN.md §11):
+
+* ``_mem`` — the authoritative live map (O(1) point ops);
+* ``_buffer`` — an insertion-ordered write buffer of keys added since
+  the last merge (O(1) amortised inserts — no per-put ``insort``);
+* ``_run`` — one lazily-maintained sorted run of keys.  Deleted keys
+  stay in the run as tombstones (tracked in ``_dead_keys``) until a
+  merge or compaction drops them.  The first ``scan_prefix`` after
+  writes pays one merge — a tombstone filter plus ``list.sort`` over
+  the concatenated sorted runs (timsort's galloping merge, or a plain
+  extend when the fresh keys all sort past the run's tail); subsequent
+  scans are O(log n + k) via bisect with a *sentinel* upper bound (no
+  per-key tuple slicing or liveness probes on the hot path);
+* ``_counts`` — a per-prefix live-entry count (keyed by ``key[:-1]``)
+  maintained on every put/delete, making the ``statdir``/``readdir``
+  ``count_prefix`` hot path O(1).
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from .errors import KeyNotFound
 from .txn import Transaction
@@ -31,18 +48,47 @@ __all__ = ["KVStore"]
 Key = Tuple[Any, ...]
 
 
+class _SentinelHigh:
+    """Compares greater than every key field: ``prefix + (_HIGH,)`` is the
+    exclusive upper bound of the prefix range under tuple ordering."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __gt__(self, other: Any) -> bool:
+        return True
+
+
+_HIGH = _SentinelHigh()
+
+
 class KVStore:
     """An ordered KV store with write-ahead logging."""
 
     def __init__(self, wal: Optional[WriteAheadLog] = None, log_writes: bool = True):
         self._mem: Dict[Key, Any] = {}
-        self._index: List[Key] = []
+        # Sorted run of keys; may contain dead keys (deleted since the last
+        # merge), tracked in _dead_keys.
+        self._run: List[Key] = []
+        self._dead_keys: Set[Key] = set()  # tombstones currently in _run
+        # Insertion-ordered set of keys not yet merged into _run; disjoint
+        # from _run (a delete-then-re-put resurrects the run's copy in
+        # place instead of buffering, keeping the merge duplicate-free).
+        self._buffer: Dict[Key, None] = {}
+        # Live keys grouped by their immediate parent prefix (key[:-1]), and
+        # live-key tally by key length — together they decide when a
+        # count_prefix can answer from cache (see count_prefix).
+        self._counts: Dict[Key, int] = {}
+        self._len_counts: Dict[int, int] = {}
         self.wal = wal if wal is not None else WriteAheadLog()
         self._log_writes = log_writes
         self.puts = 0
         self.gets = 0
         self.deletes = 0
         self.scans = 0
+        self.merges = 0
 
     def __len__(self) -> int:
         return len(self._mem)
@@ -78,23 +124,71 @@ class KVStore:
         return self._apply_delete(key)
 
     # -- scans ---------------------------------------------------------------
-    def scan_prefix(self, prefix: Key) -> Iterator[Tuple[Key, Any]]:
+    def scan_prefix(
+        self,
+        prefix: Key,
+        start: Optional[Key] = None,
+        limit: Optional[int] = None,
+    ) -> Iterator[Tuple[Key, Any]]:
         """Yield (key, value) for all keys whose leading fields equal *prefix*.
 
         With keys of shape ``(pid, name)``, ``scan_prefix((pid,))`` lists a
         directory's entries in name order.
+
+        *start* resumes a paginated scan: only keys ``>= prefix + start``
+        are yielded (pass the last key's suffix fields from the previous
+        page, e.g. ``start=(last_name,)``, and skip the first result — or
+        bump the token yourself).  *limit* caps the number of yielded
+        entries.  Both default to the full range.
         """
         self.scans += 1
-        n = len(prefix)
-        start = bisect.bisect_left(self._index, prefix)
-        for i in range(start, len(self._index)):
-            key = self._index[i]
-            if key[:n] != prefix:
-                break
-            yield key, self._mem[key]
+        run = self._merged_run()
+        lo = prefix if start is None else prefix + tuple(start)
+        i = bisect.bisect_left(run, lo)
+        end = bisect.bisect_left(run, prefix + (_HIGH,), i)
+        mem = self._mem
+        if not self._dead_keys:
+            # Tombstone-free: every run key in range is live.
+            if limit is not None and i + limit < end:
+                end = i + limit
+            for key in run[i:end]:
+                yield key, mem[key]
+            return
+        remaining = -1 if limit is None else limit
+        while i < end and remaining != 0:
+            key = run[i]
+            value = mem.get(key, _HIGH)  # _HIGH doubles as a "dead" marker
+            if value is not _HIGH:
+                yield key, value
+                remaining -= 1
+            i += 1
 
     def count_prefix(self, prefix: Key) -> int:
-        return sum(1 for _ in self.scan_prefix(prefix))
+        """The number of live keys extending *prefix* — O(1) on the
+        ``statdir`` hot path.
+
+        The cache counts keys by their immediate parent (``key[:-1]``), so
+        it answers exactly when no live key extends *prefix* by two or more
+        fields; the length tally detects that case, falling back to a
+        key-only range count (no value materialisation either way).
+        """
+        cached = self._counts.get(prefix, 0)
+        exact = 1 if prefix in self._mem else 0
+        n = len(prefix)
+        for length, live in self._len_counts.items():
+            if live and length > n + 1:
+                return self._count_prefix_slow(prefix)
+        return cached + exact
+
+    def _count_prefix_slow(self, prefix: Key) -> int:
+        """Range-count live keys for prefixes deeper keys may extend."""
+        run = self._merged_run()
+        lo = bisect.bisect_left(run, prefix)
+        hi = bisect.bisect_left(run, prefix + (_HIGH,), lo)
+        dead = self._dead_keys
+        if not dead:
+            return hi - lo
+        return sum(1 for i in range(lo, hi) if run[i] not in dead)
 
     # -- transactions -----------------------------------------------------------
     def transaction(self) -> Transaction:
@@ -123,13 +217,20 @@ class KVStore:
     def restore(self, image: Dict[Key, Any]) -> None:
         """Replace the memtable with a checkpoint image."""
         self._mem = dict(image)
-        self._index = sorted(self._mem.keys())
+        self._run = sorted(self._mem.keys())
+        self._buffer.clear()
+        self._dead_keys.clear()
+        self._rebuild_counts()
 
     # -- crash / recovery ----------------------------------------------------
     def crash(self) -> None:
         """Lose all DRAM state; the WAL survives."""
         self._mem.clear()
-        self._index.clear()
+        self._run.clear()
+        self._buffer.clear()
+        self._dead_keys.clear()
+        self._counts.clear()
+        self._len_counts.clear()
 
     def recover(self) -> int:
         """Replay unapplied WAL records; returns the number replayed."""
@@ -155,15 +256,90 @@ class KVStore:
 
     # -- internals ---------------------------------------------------------
     def _apply_put(self, key: Key, value: Any) -> None:
-        if key not in self._mem:
-            bisect.insort(self._index, key)
-        self._mem[key] = value
+        mem = self._mem
+        if key not in mem:
+            dead = self._dead_keys
+            if dead and key in dead:
+                # Resurrecting a tombstone: the run already holds the key
+                # at its sorted position; reviving in place keeps _buffer
+                # and _run disjoint (no duplicate after a merge).
+                dead.discard(key)
+            else:
+                self._buffer[key] = None
+            prefix = key[:-1]
+            counts = self._counts
+            counts[prefix] = counts.get(prefix, 0) + 1
+            len_counts = self._len_counts
+            n = len(key)
+            len_counts[n] = len_counts.get(n, 0) + 1
+        mem[key] = value
 
     def _apply_delete(self, key: Key) -> bool:
-        if key not in self._mem:
+        mem = self._mem
+        if key not in mem:
             return False
-        del self._mem[key]
-        idx = bisect.bisect_left(self._index, key)
-        if idx < len(self._index) and self._index[idx] == key:
-            self._index.pop(idx)
+        del mem[key]
+        buffer = self._buffer
+        if key in buffer:
+            del buffer[key]
+        else:
+            # Key lives in the sorted run: leave it as a tombstone; a later
+            # merge or compaction drops it.
+            self._dead_keys.add(key)
+        counts = self._counts
+        prefix = key[:-1]
+        left = counts[prefix] - 1
+        if left:
+            counts[prefix] = left
+        else:
+            del counts[prefix]
+        self._len_counts[len(key)] -= 1
         return True
+
+    def _merged_run(self) -> List[Key]:
+        """The sorted run with all buffered writes merged in.
+
+        Called by every ordered read; no-op when nothing changed since the
+        last merge.  Tombstones are filtered out, then the sorted fresh
+        keys join the run — a plain extend when they all sort past the
+        run's tail (the common grow-a-directory pattern), otherwise
+        ``list.sort`` over the two concatenated sorted runs (timsort
+        detects and gallop-merges them).  The sort cost of a write burst
+        is paid once, by the first scan after it.  A scan-free store also
+        compacts when tombstones pile past half the run (keeps range
+        sizes proportional to live data).
+        """
+        run = self._run
+        buffer = self._buffer
+        dead = self._dead_keys
+        if not buffer:
+            if len(dead) * 2 > len(run):
+                self._run = run = [k for k in run if k not in dead]
+                dead.clear()
+                self.merges += 1
+            return run
+        fresh = sorted(buffer)
+        buffer.clear()
+        self.merges += 1
+        if dead:
+            run = [k for k in run if k not in dead]
+            dead.clear()
+        if not run:
+            self._run = fresh
+            return fresh
+        run.extend(fresh)
+        if run[-len(fresh) - 1] > fresh[0]:
+            run.sort()
+        self._run = run
+        return run
+
+    def _rebuild_counts(self) -> None:
+        counts: Dict[Key, int] = {}
+        len_counts: Dict[int, int] = {}
+        for key in self._mem:
+            prefix = key[:-1]
+            counts[prefix] = counts.get(prefix, 0) + 1
+            n = len(key)
+            len_counts[n] = len_counts.get(n, 0) + 1
+        self._counts = counts
+        self._len_counts = len_counts

@@ -6,21 +6,26 @@ records to rebuild its key-value store and change-logs.  The paper also
 marks change-log records as *applied* once an aggregation has persisted
 them on the directory-owner's side, so replay can skip them.
 
-The log itself is an in-memory list standing in for a durable device: a
-simulated crash wipes the store's memtable but never the WAL.
+The log itself is in-memory state standing in for a durable device: a
+simulated crash wipes the store's memtable but never the WAL.  Appends
+sit on the hot path of every simulated operation, so records are stored
+as parallel arrays (kind, payload, applied flag) with the LSN implicit
+in the position — an append is plain list appends, no record-object
+allocation.  :class:`WalRecord` views are materialised lazily, only by
+:meth:`WriteAheadLog.replay` (the rare crash-recovery path).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List
 
 __all__ = ["WalRecord", "WriteAheadLog"]
 
 
 @dataclass
 class WalRecord:
-    """One durable log record.
+    """One durable log record, as seen by replay.
 
     ``kind`` is a free-form tag ("kv", "txn", "changelog", ...);
     ``payload`` is whatever the writer needs to redo the operation;
@@ -33,52 +38,89 @@ class WalRecord:
     applied: bool = False
 
 
-@dataclass
 class WriteAheadLog:
     """An append-only durable log with applied-marking and checkpointing."""
 
-    _records: List[WalRecord] = field(default_factory=list)
-    _next_lsn: int = 0
-    appends: int = 0
+    def __init__(self) -> None:
+        # Parallel arrays; index i holds LSN _base_lsn + i.
+        self._kinds: List[str] = []
+        self._payloads: List[Any] = []
+        self._applied: List[bool] = []
+        self._base_lsn = 0
+        self.appends = 0
 
     def append(self, kind: str, payload: Any) -> int:
         """Durably append a record; returns its LSN."""
-        lsn = self._next_lsn
-        self._next_lsn += 1
-        self._records.append(WalRecord(lsn=lsn, kind=kind, payload=payload))
+        kinds = self._kinds
+        lsn = self._base_lsn + len(kinds)
+        kinds.append(kind)
+        self._payloads.append(payload)
+        self._applied.append(False)
         self.appends += 1
         return lsn
 
+    def append_many(self, kind: str, payloads: Iterable[Any]) -> List[int]:
+        """Durably append one record per payload in one bookkeeping step.
+
+        Equivalent to ``[self.append(kind, p) for p in payloads]`` — each
+        payload keeps its own record (and LSN) so replay and applied-marking
+        stay per-record — but the arrays grow by whole-batch extends.
+        Returns the LSNs in payload order.
+        """
+        payloads = list(payloads)
+        n = len(payloads)
+        base = self._base_lsn + len(self._kinds)
+        self._kinds.extend([kind] * n)
+        self._payloads.extend(payloads)
+        self._applied.extend([False] * n)
+        self.appends += n
+        return list(range(base, base + n))
+
     def mark_applied(self, lsn: int) -> None:
         """Mark a record as applied (skipped during replay)."""
-        record = self._find(lsn)
-        record.applied = True
+        idx = lsn - self._base_lsn
+        if 0 <= idx < len(self._applied):
+            self._applied[idx] = True
+        else:
+            raise KeyError(f"WAL record {lsn} not found")
 
     def mark_applied_if_present(self, lsn: int) -> bool:
         """Tolerant variant: records already truncated by a checkpoint are
         gone, which is fine — the checkpoint covers them."""
-        try:
-            self.mark_applied(lsn)
+        idx = lsn - self._base_lsn
+        if 0 <= idx < len(self._applied):
+            self._applied[idx] = True
             return True
-        except KeyError:
-            return False
+        return False
 
-    def _find(self, lsn: int) -> WalRecord:
-        # Records are sorted by construction; after checkpoints the offset
-        # shifts, so locate by subtraction from the first live record.
-        if not self._records:
-            raise KeyError(f"WAL record {lsn} not found (log empty)")
-        base = self._records[0].lsn
-        idx = lsn - base
-        if 0 <= idx < len(self._records) and self._records[idx].lsn == lsn:
-            return self._records[idx]
-        raise KeyError(f"WAL record {lsn} not found")
+    def mark_applied_many(self, lsns: Iterable[int]) -> int:
+        """Mark a batch of records applied; returns how many were found.
+
+        Tolerant like :meth:`mark_applied_if_present`: LSNs already dropped
+        by a checkpoint are silently skipped (the checkpoint covers them).
+        The base offset is computed once for the whole batch instead of per
+        LSN.
+        """
+        applied = self._applied
+        base = self._base_lsn
+        n = len(applied)
+        marked = 0
+        for lsn in lsns:
+            idx = lsn - base
+            if 0 <= idx < n:
+                applied[idx] = True
+                marked += 1
+        return marked
 
     def replay(self) -> Iterator[WalRecord]:
-        """Iterate unapplied records in LSN order (crash recovery)."""
-        for record in self._records:
-            if not record.applied:
-                yield record
+        """Iterate unapplied records in LSN order (crash recovery).
+
+        Yields freshly materialised :class:`WalRecord` views."""
+        base = self._base_lsn
+        kinds, payloads = self._kinds, self._payloads
+        for idx, applied in enumerate(self._applied):
+            if not applied:
+                yield WalRecord(lsn=base + idx, kind=kinds[idx], payload=payloads[idx])
 
     def checkpoint(self) -> int:
         """Drop all applied-or-superseded prefix records; returns #dropped.
@@ -86,14 +128,20 @@ class WriteAheadLog:
         Only the contiguous applied prefix can be dropped: a later applied
         record may still be needed to preserve LSN arithmetic.
         """
+        applied = self._applied
         dropped = 0
-        while self._records and self._records[0].applied:
-            self._records.pop(0)
+        n = len(applied)
+        while dropped < n and applied[dropped]:
             dropped += 1
+        if dropped:
+            del self._kinds[:dropped]
+            del self._payloads[:dropped]
+            del applied[:dropped]
+            self._base_lsn += dropped
         return dropped
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._kinds)
 
     def unapplied_count(self) -> int:
-        return sum(1 for r in self._records if not r.applied)
+        return len(self._applied) - sum(self._applied)

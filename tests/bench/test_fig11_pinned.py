@@ -1,0 +1,40 @@
+"""Pinned fig-11 values: the storage-engine rewrite must not move the sim.
+
+KV and WAL operations consume zero virtual time (only ``_cpu`` charges
+advance the clock), so the LSM memtable, incremental recast, and batched
+WAL bookkeeping are pure wall-clock optimisations: the simulated numbers
+of the figure benchmarks must stay **bit-identical** to the values
+captured on the pre-rewrite engine (recorded below).  Any drift here
+means an engine change leaked into simulated behaviour.
+"""
+
+import hashlib
+import json
+
+from repro.bench import make_cluster, run_stream, scaled_config
+from repro.workloads import FixedOpStream, bootstrap, single_large_directory
+
+# Captured from the seed (pre-LSM) engine at PR-3 head; see EXPERIMENTS.md.
+PINNED = {
+    "ops_completed": 250,
+    "sim_elapsed_us": 289.60000000000014,
+    "throughput_kops": 863.2596685082868,
+    "mean_latency_us": 17.87899999999997,
+    "n_samples": 250,
+    "samples_sha256": "cad6de2dbd61d5367f0a8b9a1e6286cfa627d14a8f5c072d31caaa4946e1cfba",
+}
+
+
+def test_fig11_small_point_bit_identical_to_seed_engine():
+    cluster = make_cluster("SwitchFS", scaled_config(num_servers=4, seed=17))
+    pop = bootstrap(cluster, single_large_directory(400), warm_clients=[0])
+    stream = FixedOpStream("create", pop, seed=17, dir_choice="single")
+    result = run_stream(cluster, stream, total_ops=250, inflight=16)
+    samples = result.latency.samples("all")
+    assert result.ops_completed == PINNED["ops_completed"]
+    assert result.sim_elapsed_us == PINNED["sim_elapsed_us"]
+    assert result.throughput_kops == PINNED["throughput_kops"]
+    assert result.mean_latency_us == PINNED["mean_latency_us"]
+    assert len(samples) == PINNED["n_samples"]
+    digest = hashlib.sha256(json.dumps(samples).encode()).hexdigest()
+    assert digest == PINNED["samples_sha256"]

@@ -1,0 +1,75 @@
+"""Paginated readdir: client tokens walk a directory page by page."""
+
+import pytest
+
+from repro.core import FSConfig, SwitchFSCluster
+from repro.core.invalidation import InvalidationList
+
+
+@pytest.fixture()
+def cluster():
+    return SwitchFSCluster(FSConfig(num_servers=4, seed=7))
+
+
+def populate(cluster, n):
+    fs = cluster.client(0)
+    cluster.run_op(fs.mkdir("/d"))
+    for i in range(n):
+        cluster.run_op(fs.create(f"/d/f{i:03d}"))
+    return fs
+
+
+class TestReaddirPagination:
+    def test_pages_cover_directory_in_order(self, cluster):
+        fs = populate(cluster, 10)
+        seen, token = [], None
+        for _ in range(10):  # bounded: must finish well within this
+            result = cluster.run_op(fs.readdir("/d", start_after=token, limit=4))
+            seen.extend(result["entries"])
+            token = result.get("next")
+            if token is None:
+                break
+        assert seen == [f"f{i:03d}" for i in range(10)]
+
+    def test_pagination_matches_full_listing(self, cluster):
+        fs = populate(cluster, 7)
+        full = cluster.run_op(fs.readdir("/d"))
+        assert "next" not in full
+        paged = cluster.run_op(fs.readdir("/d", limit=100))
+        assert paged["entries"] == full["entries"]
+        assert "next" not in paged
+
+    def test_start_after_excludes_the_token(self, cluster):
+        fs = populate(cluster, 5)
+        result = cluster.run_op(fs.readdir("/d", start_after="f002"))
+        assert result["entries"] == ["f003", "f004"]
+
+    def test_truncated_page_carries_next_token(self, cluster):
+        fs = populate(cluster, 5)
+        result = cluster.run_op(fs.readdir("/d", limit=2))
+        assert result["entries"] == ["f000", "f001"]
+        assert result["next"] == "f001"
+        assert result["entry_count"] == 5  # the inode count, not the page size
+
+
+class TestInvalidationDiscard:
+    def test_discard_reverts_insert(self):
+        inval = InvalidationList()
+        inval.insert(42)
+        assert 42 in inval
+        inval.discard(42)
+        assert 42 not in inval
+        inval.discard(42)  # idempotent on absent ids
+        assert len(inval) == 0
+
+    def test_rmdir_of_non_empty_directory_uninvalidates(self, cluster):
+        from repro.core import FSError
+
+        fs = populate(cluster, 2)
+        with pytest.raises(FSError):
+            cluster.run_op(fs.rmdir("/d"))
+        # The directory must stay fully usable after the failed rmdir.
+        result = cluster.run_op(fs.readdir("/d"))
+        assert result["entries"] == ["f000", "f001"]
+        cluster.run_op(fs.create("/d/after"))
+        assert "after" in cluster.run_op(fs.readdir("/d"))["entries"]

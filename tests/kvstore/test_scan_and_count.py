@@ -1,0 +1,96 @@
+"""Paginated scans and the O(1) prefix-count cache."""
+
+from repro.kvstore import KVStore
+
+
+def filled(n=10):
+    store = KVStore()
+    for i in range(n):
+        store.put(("E", 1, f"f{i:02d}"), i)
+    store.put(("D", 0, "dir"), "inode")
+    return store
+
+
+class TestScanPagination:
+    def test_start_resumes_mid_range(self):
+        store = filled()
+        keys = [k for k, _ in store.scan_prefix(("E", 1), start=("f05",))]
+        assert keys == [("E", 1, f"f{i:02d}") for i in range(5, 10)]
+
+    def test_limit_caps_results(self):
+        store = filled()
+        page = list(store.scan_prefix(("E", 1), limit=3))
+        assert [k for k, _ in page] == [("E", 1, f"f{i:02d}") for i in range(3)]
+
+    def test_start_and_limit_paginate_fully(self):
+        store = filled()
+        seen, token = [], None
+        while True:
+            page = [
+                k[2]
+                for k, _ in store.scan_prefix(
+                    ("E", 1), start=None if token is None else (token,), limit=4
+                )
+            ]
+            if token is not None and page and page[0] == token:
+                page = page[1:]
+            if not page:
+                break
+            seen.extend(page)
+            token = page[-1]
+        assert seen == [f"f{i:02d}" for i in range(10)]
+
+    def test_limit_counts_live_entries_not_tombstones(self):
+        store = filled()
+        store.delete(("E", 1, "f00"))
+        store.delete(("E", 1, "f01"))
+        page = [k[2] for k, _ in store.scan_prefix(("E", 1), limit=2)]
+        assert page == ["f02", "f03"]
+
+
+class TestCountPrefixCache:
+    def test_count_is_cached_not_scanned(self):
+        store = filled()
+        scans_before = store.scans
+        merges_before = store.merges
+        assert store.count_prefix(("E", 1)) == 10
+        assert store.count_prefix(("D", 0)) == 1
+        assert store.count_prefix(("E", 2)) == 0
+        assert store.scans == scans_before
+        assert store.merges == merges_before
+
+    def test_count_tracks_puts_deletes_and_overwrites(self):
+        store = KVStore()
+        assert store.count_prefix(("E", 1)) == 0
+        store.put(("E", 1, "a"), 1)
+        store.put(("E", 1, "a"), 2)  # overwrite: no double count
+        store.put(("E", 1, "b"), 3)
+        assert store.count_prefix(("E", 1)) == 2
+        store.delete(("E", 1, "a"))
+        store.delete(("E", 1, "a"))  # double delete: no under-count
+        assert store.count_prefix(("E", 1)) == 1
+
+    def test_count_survives_transactions_restore_and_recovery(self):
+        store = KVStore()
+        txn = store.transaction()
+        txn.put(("E", 1, "a"), 1)
+        txn.put(("E", 1, "b"), 2)
+        txn.delete(("E", 1, "a"))
+        txn.commit()
+        assert store.count_prefix(("E", 1)) == 1
+        image = store.snapshot()
+        store.put(("E", 1, "c"), 3)
+        store.restore(image)
+        assert store.count_prefix(("E", 1)) == 1
+        store.crash()
+        assert store.count_prefix(("E", 1)) == 0
+        store.recover()
+        # Replay reconstructs everything logged, including the pre-restore c.
+        assert store.count_prefix(("E", 1)) == 2
+
+    def test_short_prefix_falls_back_to_range_count(self):
+        store = filled()
+        # ("E",) has live keys two fields deeper: the one-level cache cannot
+        # answer, so the slow key-only range count must.
+        assert store.count_prefix(("E",)) == 10
+        assert store.count_prefix(()) == 11
