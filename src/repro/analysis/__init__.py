@@ -1,0 +1,46 @@
+"""Correctness-analysis layer: dynamic race/lock-order detection, pool
+sanitizing, and the repo-specific AST lint (DESIGN.md §12).
+
+Three pillars, all opt-in and zero-cost when disabled:
+
+* :mod:`.trace` — :class:`SimTracer`, the dynamic instrumentation sink
+  for the simulation kernel: per-process lock/resource acquire–release
+  events and shared-state accesses between yield points.
+* :mod:`.detect` — analyses over a tracer's event stream: lock-order
+  cycle detection (potential deadlock) and Eraser-style lockset race
+  detection on server/changelog state.
+* :mod:`.poolsan` — :class:`PoolSanitizer`, a poisoning mode for the
+  packet/header freelists in :mod:`repro.net.packet` that traps
+  use-after-recycle, double-recycle, and stale-reference aliasing.
+* :mod:`.reprolint` — ``reprolint``, an AST lint (stdlib ``ast`` only)
+  enforcing repo rules: no wall-clock/``random``-module calls in
+  sim-visible code, no cross-module private-attribute access, generator
+  hygiene, and packet-pool protocol discipline.
+
+Surface through the CLI as ``repro analyze`` and ``repro lint``.
+"""
+
+from .detect import analyze_report, lock_order_cycles, race_findings
+from .poolsan import (
+    PoolSanitizer,
+    install_pool_sanitizer,
+    pool_sanitizer_enabled,
+    uninstall_pool_sanitizer,
+)
+from .reprolint import Finding, format_finding, lint_paths
+from .trace import SimTracer, instrument_server
+
+__all__ = [
+    "SimTracer",
+    "instrument_server",
+    "analyze_report",
+    "lock_order_cycles",
+    "race_findings",
+    "PoolSanitizer",
+    "install_pool_sanitizer",
+    "uninstall_pool_sanitizer",
+    "pool_sanitizer_enabled",
+    "Finding",
+    "lint_paths",
+    "format_finding",
+]

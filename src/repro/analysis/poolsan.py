@@ -1,0 +1,247 @@
+"""Pool sanitizer: poisoning mode for the packet/header freelists.
+
+The PR-3 fast paths recycle :class:`~repro.net.packet.Packet` and
+:class:`~repro.net.packet.StaleSetHeader` instances through bounded
+freelists guarded by CPython refcounts.  That guard is sound only if
+every caller follows the protocol — never touch an object after handing
+it to ``recycle_*``.  This module makes violations *loud* instead of
+silently corrupting later traffic:
+
+* every instance entering a freelist is **poisoned**: its ``__class__``
+  is swapped to a trap subclass whose attribute hooks raise
+  :class:`PoolSanitizerError` with the object's identity, pool
+  generation, and the stack that recycled it;
+* **double recycles** are trapped (the second ``recycle_*`` sees an
+  already-poisoned instance);
+* **cross-process aliasing** is checked via :meth:`PoolSanitizer.pin` /
+  :meth:`PoolSanitizer.check_pin`: a pinned reference that resurfaces
+  with a different uid was recycled and reallocated underneath its
+  holder.
+
+Enablement: :func:`install_pool_sanitizer` (the tier-1 suite does this
+via an autouse fixture in ``tests/conftest.py``; opt out with
+``REPRO_POOL_SANITIZER=0``).  Disabled — the default — the production
+hot paths pay one module-global load and an ``is not None`` test per
+alloc/recycle; nothing else changes (DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+import traceback
+from typing import Any, Dict, List, Optional
+
+from ..net import packet as _packet_mod
+from ..net.packet import Packet, StaleSetHeader
+
+__all__ = [
+    "PoolSanitizerError",
+    "PoolSanitizer",
+    "install_pool_sanitizer",
+    "uninstall_pool_sanitizer",
+    "pool_sanitizer_enabled",
+]
+
+# Frames below this module / the pool internals add no signal to traps.
+_STACK_NOISE = ("analysis/poolsan.py", "net/packet.py")
+
+
+def _call_site(limit: int = 10) -> List[str]:
+    out = []
+    for fr in traceback.extract_stack(limit=limit + 4):
+        fn = fr.filename.replace("\\", "/")
+        if any(fn.endswith(noise) for noise in _STACK_NOISE):
+            continue
+        out.append(f"{fn.rsplit('/', 1)[-1]}:{fr.lineno} in {fr.name}")
+    return out[-limit:]
+
+
+class PoolSanitizerError(RuntimeError):
+    """A packet/header pool protocol violation trapped by the sanitizer."""
+
+
+def _trap(obj: Any, action: str) -> "PoolSanitizerError":
+    san = _packet_mod.pool_sanitizer()
+    meta = san.meta_for(obj) if san is not None else None
+    kind = type(obj).__mro__[1].__name__  # the real class under the trap
+    if meta is not None:
+        where = "\n    ".join(meta.get("recycled_at") or ["<unknown>"])
+        return PoolSanitizerError(
+            f"use-after-recycle: {action} on pooled {kind} "
+            f"uid={meta.get('uid')} (pool generation {meta.get('gen')}) — this "
+            f"instance was returned to the freelist and must not be touched.\n"
+            f"  recycled at:\n    {where}\n"
+            f"  fix: copy any fields you need *before* calling recycle_*, or "
+            f"drop this reference so the refcount guard keeps the object live."
+        )
+    return PoolSanitizerError(
+        f"use-after-recycle: {action} on a pooled {kind} that was returned "
+        f"to the freelist (no sanitizer metadata — sanitizer was reinstalled?)"
+    )
+
+
+class _PoisonedPacket(Packet):
+    """Trap class a recycled Packet is morphed into while pooled."""
+
+    __slots__ = ()
+
+    def __getattribute__(self, name: str) -> Any:
+        raise _trap(self, f"read of .{name}")
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise _trap(self, f"write of .{name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<poisoned pooled Packet>"
+
+
+class _PoisonedHeader(StaleSetHeader):
+    """Trap class a recycled StaleSetHeader is morphed into while pooled."""
+
+    __slots__ = ()
+
+    def __getattribute__(self, name: str) -> Any:
+        raise _trap(self, f"read of .{name}")
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise _trap(self, f"write of .{name}")
+
+    def __eq__(self, other: Any) -> bool:
+        raise _trap(self, "comparison")
+
+    def __hash__(self) -> int:
+        raise _trap(self, "hash")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<poisoned pooled StaleSetHeader>"
+
+
+_POISON_FOR = {Packet: _PoisonedPacket, StaleSetHeader: _PoisonedHeader}
+
+_getrefcount = getattr(sys, "getrefcount", None)
+
+
+class PoolSanitizer:
+    """Poisons freelist entries and traps pool-protocol violations.
+
+    Install via :func:`install_pool_sanitizer` rather than constructing
+    directly — the packet module must be pointed at the instance.
+    """
+
+    def __init__(self, capture_stacks: bool = True):
+        self.capture_stacks = capture_stacks
+        self._gen = itertools.count(1)
+        # id(obj) -> {kind, uid, gen, recycled_at}; entries exist only for
+        # objects currently poisoned in a pool (strongly held by the pool),
+        # so ids cannot be reused while a record is live.
+        self._meta: Dict[int, Dict[str, Any]] = {}
+        self.stats = {"recycled": 0, "skipped_live": 0, "reused": 0, "trapped": 0}
+
+    # -- used by repro.net.packet hot paths -------------------------------
+    def unpoison(self, obj: Any, cls: type) -> None:
+        """A pooled instance is being reallocated: lift the trap."""
+        object.__setattr__(obj, "__class__", cls)
+        self._meta.pop(id(obj), None)
+        self.stats["reused"] += 1
+
+    def recycle(self, obj: Any, cls: type, pool: List[Any], maxlen: int) -> None:
+        """Sanitized replacement for the ``recycle_*`` fast paths.
+
+        Refcount threshold is 4 here (caller local + ``recycle_*``
+        parameter + our parameter + ``getrefcount``'s argument) versus 3
+        on the unsanitized path, which has one frame fewer.
+        """
+        if type(obj) is not cls:
+            self.stats["trapped"] += 1
+            meta = self._meta.get(id(obj))
+            first = "\n    ".join(
+                (meta or {}).get("recycled_at") or ["<unknown>"]
+            )
+            raise PoolSanitizerError(
+                f"double-recycle of pooled {cls.__name__}"
+                + (f" uid={meta['uid']}" if meta else "")
+                + f": this instance is already on the freelist.\n"
+                f"  first recycled at:\n    {first}\n"
+                f"  fix: each allocation pairs with exactly one recycle — "
+                f"drop the duplicate recycle call."
+            )
+        if _getrefcount is None or len(pool) >= maxlen or _getrefcount(obj) != 4:
+            self.stats["skipped_live"] += 1
+            return
+        uid = getattr(obj, "uid", None)
+        if cls is Packet:
+            obj.payload = None
+            h = obj.header
+            obj.header = None
+        else:
+            h = None
+        self._meta[id(obj)] = {
+            "kind": cls.__name__,
+            "uid": uid,
+            "gen": next(self._gen),
+            "recycled_at": _call_site() if self.capture_stacks else None,
+        }
+        object.__setattr__(obj, "__class__", _POISON_FOR[cls])
+        pool.append(obj)
+        self.stats["recycled"] += 1
+        if h is not None:
+            _packet_mod.recycle_header(h)
+
+    # -- aliasing checks ---------------------------------------------------
+    def pin(self, obj: Any) -> Dict[str, Any]:
+        """Snapshot a reference for a later :meth:`check_pin`.
+
+        Use around suspension points: pin before yielding, check after,
+        to prove the object was not recycled-and-reallocated (aliased)
+        by another simulated process in between.
+        """
+        return {"obj": obj, "uid": getattr(obj, "uid", None), "cls": type(obj)}
+
+    def check_pin(self, pinned: Dict[str, Any]) -> None:
+        obj = pinned["obj"]
+        if type(obj) in _POISON_FOR.values():
+            self.stats["trapped"] += 1
+            raise _trap(obj, "pinned reference held across recycle")
+        uid = getattr(obj, "uid", None)
+        if uid != pinned["uid"]:
+            self.stats["trapped"] += 1
+            raise PoolSanitizerError(
+                f"cross-process aliasing: pinned {pinned['cls'].__name__} "
+                f"uid={pinned['uid']} was recycled and reallocated as "
+                f"uid={uid} while the pin was held.\n"
+                f"  fix: the pinning process kept a reference across a yield "
+                f"while another process recycled it — keep a strong reference "
+                f"(the refcount guard then refuses the recycle) or re-fetch "
+                f"the object after resuming."
+            )
+
+    def meta_for(self, obj: Any) -> Optional[Dict[str, Any]]:
+        return self._meta.get(id(obj))
+
+
+def install_pool_sanitizer(capture_stacks: bool = True) -> PoolSanitizer:
+    """Create a :class:`PoolSanitizer` and point the packet pools at it."""
+    san = PoolSanitizer(capture_stacks=capture_stacks)
+    _packet_mod.set_pool_sanitizer(san)
+    return san
+
+
+def uninstall_pool_sanitizer() -> None:
+    """Remove any installed sanitizer (pools are dropped, traps lifted)."""
+    _packet_mod.set_pool_sanitizer(None)
+
+
+class pool_sanitizer_enabled:
+    """Context manager: sanitizer installed inside the ``with`` block."""
+
+    def __init__(self, capture_stacks: bool = True):
+        self.capture_stacks = capture_stacks
+        self.sanitizer: Optional[PoolSanitizer] = None
+
+    def __enter__(self) -> PoolSanitizer:
+        self.sanitizer = install_pool_sanitizer(self.capture_stacks)
+        return self.sanitizer
+
+    def __exit__(self, *exc: Any) -> None:
+        uninstall_pool_sanitizer()

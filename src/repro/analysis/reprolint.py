@@ -1,0 +1,423 @@
+"""``reprolint``: the repo-specific AST lint (stdlib ``ast`` only).
+
+Rules (DESIGN.md §12):
+
+RL001 ``wall-clock``
+    No calls into the ``time``/``random`` stdlib modules (or
+    ``datetime.now/utcnow/today``) in sim-visible code.  Simulated time
+    comes from ``sim.now``; randomness from the seeded streams in
+    ``sim/rand.py`` — wall-clock or global-RNG calls silently break
+    run-to-run determinism.  Benchmark harnesses (``bench``/
+    ``benchmarks`` path segments), this analysis layer, and
+    ``sim/rand.py`` itself are exempt.
+
+RL002 ``private-access``
+    No cross-module ``obj._private`` attribute access.  An attribute
+    starting with a single underscore may only be touched through
+    ``self``/``cls`` or from a module that itself defines that private
+    name (the PR-4 ``_ids`` bug class).  Add a small public accessor —
+    or, for a documented hot-path exception, a same-line
+    ``# reprolint: allow[private-access] why`` comment.
+
+RL003 ``bare-except``
+    No ``except:`` and no ``except BaseException`` that swallows the
+    exception (no re-raise and the bound name unused): both eat the
+    kernel's ``Interrupt`` and ``GeneratorExit``, wedging process
+    cleanup.
+
+RL004 ``unadopted-generator``
+    A bare expression statement calling a same-module generator function
+    creates a generator object and drops it — the code inside never
+    runs.  Drive it (``yield from``), hand it to ``sim.spawn``/
+    ``sim.adopt``, or delete it.
+
+RL005 ``pool-protocol``
+    After ``recycle_packet(p)`` / ``recycle_header(h)`` the local name
+    must not be used again in the same suite (use-after-recycle) nor
+    recycled twice (double-recycle), until rebound.
+
+Suppression: append ``# reprolint: allow[<rule-or-id>] <reason>`` on the
+flagged line.  ``allow[*]`` suppresses every rule on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Finding", "lint_file", "lint_paths", "format_finding", "RULES"]
+
+#: rule id -> short name
+RULES = {
+    "RL001": "wall-clock",
+    "RL002": "private-access",
+    "RL003": "bare-except",
+    "RL004": "unadopted-generator",
+    "RL005": "pool-protocol",
+}
+_NAME_TO_ID = {v: k for k, v in RULES.items()}
+
+_ALLOW_RE = re.compile(r"#\s*reprolint:\s*allow\[([^\]]*)\]")
+
+# RL001 — path components exempt from the determinism rule.
+_RL001_EXEMPT_PARTS = {"bench", "benchmarks", "analysis", "tests"}
+_RL001_EXEMPT_SUFFIXES = ("sim/rand.py",)
+_WALLCLOCK_MODULES = {"time", "random"}
+_DATETIME_CALLS = {"now", "utcnow", "today"}
+
+_RECYCLERS = {"recycle_packet", "recycle_header"}
+
+
+class Finding:
+    """One lint finding: location + rule + message."""
+
+    __slots__ = ("path", "line", "col", "rule", "name", "message")
+
+    def __init__(self, path: str, line: int, col: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.col = col
+        self.rule = rule
+        self.name = RULES[rule]
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"Finding({format_finding(self)!r})"
+
+
+def format_finding(f: Finding) -> str:
+    return f"{f.path}:{f.line}:{f.col}: {f.rule}[{f.name}] {f.message}"
+
+
+def _allowed_rules(line_text: str) -> Optional[Set[str]]:
+    """Rule ids suppressed by an allow-comment on this line, or None."""
+    m = _ALLOW_RE.search(line_text)
+    if not m:
+        return None
+    out: Set[str] = set()
+    for token in m.group(1).split(","):
+        token = token.strip()
+        if token == "*":
+            out.update(RULES)
+        elif token in RULES:
+            out.add(token)
+        elif token in _NAME_TO_ID:
+            out.add(_NAME_TO_ID[token])
+    return out
+
+
+def _is_generator_fn(fn: ast.FunctionDef) -> bool:
+    """True when *fn* is a generator function (yield at its own level)."""
+    stack: List[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # yields inside nested defs belong to them
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+class _ModuleFacts(ast.NodeVisitor):
+    """First pass: names defined by this module (for RL002/RL004) and
+    which local names alias the ``time``/``random`` modules (RL001)."""
+
+    def __init__(self):
+        self.private_defined: Set[str] = set()
+        self.generator_fns: Set[str] = set()
+        self.wallclock_aliases: Set[str] = set()  # names bound to time/random modules
+        self.wallclock_names: Set[str] = set()  # names imported *from* them
+        self.datetime_aliases: Set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            top = alias.name.split(".")[0]
+            bound = alias.asname or top
+            if top in _WALLCLOCK_MODULES:
+                self.wallclock_aliases.add(bound)
+            if top == "datetime":
+                self.datetime_aliases.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.module.split(".")[0] in _WALLCLOCK_MODULES:
+            for alias in node.names:
+                self.wallclock_names.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def _note_def(self, name: str) -> None:
+        if name.startswith("_") and not name.startswith("__"):
+            self.private_defined.add(name)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._note_def(node.name)
+        if _is_generator_fn(node):
+            self.generator_fns.add(node.name)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._note_def(node.name)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._note_def(node.name)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # self._x = ... / cls._x = ... defines _x for this module.
+        if isinstance(node.ctx, (ast.Store, ast.Del)) and isinstance(
+            node.value, ast.Name
+        ):
+            if node.value.id in ("self", "cls"):
+                self._note_def(node.attr)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Name):
+                self._note_def(tgt.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self._note_def(node.target.id)
+        self.generic_visit(node)
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, facts: _ModuleFacts, rl001_exempt: bool):
+        self.path = path
+        self.facts = facts
+        self.rl001_exempt = rl001_exempt
+        self.findings: List[Finding] = []
+
+    def _add(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(self.path, node.lineno, node.col_offset, rule, message)
+        )
+
+    # -- RL001 ------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self.rl001_exempt:
+            self._check_wallclock(node)
+        self.generic_visit(node)
+
+    def _check_wallclock(self, node: ast.Call) -> None:
+        fn = node.func
+        if isinstance(fn, ast.Name):
+            if fn.id in self.facts.wallclock_names:
+                self._add(
+                    node,
+                    "RL001",
+                    f"call to {fn.id}() from the "
+                    f"time/random stdlib breaks sim determinism — use sim.now "
+                    f"or repro.sim.rand.make_rng instead",
+                )
+            return
+        if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+            base = fn.value.id
+            if base in self.facts.wallclock_aliases:
+                self._add(
+                    node,
+                    "RL001",
+                    f"call to {base}.{fn.attr}() breaks sim determinism — "
+                    f"use sim.now or repro.sim.rand.make_rng instead",
+                )
+            elif fn.attr in _DATETIME_CALLS and (
+                base in self.facts.datetime_aliases or base == "datetime"
+            ):
+                self._add(
+                    node,
+                    "RL001",
+                    f"call to {base}.{fn.attr}() reads the wall clock — "
+                    f"sim-visible code must use sim.now",
+                )
+
+    # -- RL002 ------------------------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = node.attr
+        if (
+            attr.startswith("_")
+            and not (attr.startswith("__") and attr.endswith("__"))
+            and not (
+                isinstance(node.value, ast.Name) and node.value.id in ("self", "cls")
+            )
+            and attr not in self.facts.private_defined
+        ):
+            self._add(
+                node,
+                "RL002",
+                f"cross-module access to private attribute ._{attr.lstrip('_')} "
+                f"— add a public accessor on the owning class, or allowlist "
+                f"with '# reprolint: allow[private-access] <why>'",
+            )
+        self.generic_visit(node)
+
+    # -- RL003 ------------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._add(
+                node,
+                "RL003",
+                "bare 'except:' swallows the kernel's Interrupt/GeneratorExit "
+                "— catch a concrete exception type",
+            )
+        elif isinstance(node.type, ast.Name) and node.type.id == "BaseException":
+            has_raise = any(isinstance(n, ast.Raise) for n in ast.walk(node))
+            name_used = node.name is not None and any(
+                isinstance(n, ast.Name)
+                and n.id == node.name
+                and isinstance(n.ctx, ast.Load)
+                for stmt in node.body
+                for n in ast.walk(stmt)
+            )
+            if not has_raise and not name_used:
+                self._add(
+                    node,
+                    "RL003",
+                    "'except BaseException' without re-raise or use of the "
+                    "exception swallows the kernel's Interrupt — narrow it or "
+                    "propagate",
+                )
+        self.generic_visit(node)
+
+    # -- RL004 ------------------------------------------------------------
+    def visit_Expr(self, node: ast.Expr) -> None:
+        call = node.value
+        if isinstance(call, ast.Call):
+            fname = None
+            fn = call.func
+            if isinstance(fn, ast.Name):
+                fname = fn.id
+            elif (
+                isinstance(fn, ast.Attribute)
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id == "self"
+            ):
+                fname = fn.attr
+            if fname is not None and fname in self.facts.generator_fns:
+                self._add(
+                    node,
+                    "RL004",
+                    f"generator function {fname}() called as a bare statement: "
+                    f"the generator is created and dropped, its body never "
+                    f"runs — drive it with 'yield from', sim.spawn/adopt it, "
+                    f"or delete the call",
+                )
+        self.generic_visit(node)
+
+    # -- RL005 ------------------------------------------------------------
+    def _scan_suite(self, body: Sequence[ast.stmt]) -> None:
+        tainted: Dict[str, int] = {}  # name -> line of recycle
+
+        def recycled_name(stmt: ast.stmt) -> Optional[Tuple[str, ast.Call]]:
+            if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+                return None
+            call = stmt.value
+            fn = call.func
+            fname = fn.id if isinstance(fn, ast.Name) else (
+                fn.attr if isinstance(fn, ast.Attribute) else None
+            )
+            if fname in _RECYCLERS and call.args and isinstance(call.args[0], ast.Name):
+                return call.args[0].id, call
+            return None
+
+        def bound_names(stmt: ast.stmt) -> Set[str]:
+            out: Set[str] = set()
+            for n in ast.walk(stmt):
+                if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store):
+                    out.add(n.id)
+            return out
+
+        for stmt in body:
+            rec = recycled_name(stmt)
+            if rec is not None:
+                name, call = rec
+                if name in tainted:
+                    self._add(
+                        call,
+                        "RL005",
+                        f"double recycle of {name!r} (first recycled on line "
+                        f"{tainted[name]}) — each allocation pairs with exactly "
+                        f"one recycle",
+                    )
+                else:
+                    tainted[name] = stmt.lineno
+                continue
+            if tainted:
+                for n in ast.walk(stmt):
+                    if (
+                        isinstance(n, ast.Name)
+                        and isinstance(n.ctx, ast.Load)
+                        and n.id in tainted
+                    ):
+                        self._add(
+                            n,
+                            "RL005",
+                            f"use of {n.id!r} after recycle on line "
+                            f"{tainted[n.id]} — a recycled packet/header must "
+                            f"not be touched; copy fields before recycling",
+                        )
+                        del tainted[n.id]
+                for name in bound_names(stmt):
+                    tainted.pop(name, None)
+
+    def _visit_suites(self, node: ast.AST) -> None:
+        for field in ("body", "orelse", "finalbody"):
+            body = getattr(node, field, None)
+            if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+                self._scan_suite(body)
+
+    def generic_visit(self, node: ast.AST) -> None:
+        self._visit_suites(node)
+        super().generic_visit(node)
+
+
+def _rl001_exempt(path: Path) -> bool:
+    posix = path.as_posix()
+    if any(part in _RL001_EXEMPT_PARTS for part in path.parts):
+        return True
+    return any(posix.endswith(suffix) for suffix in _RL001_EXEMPT_SUFFIXES)
+
+
+def lint_file(path) -> List[Finding]:
+    """Lint one Python source file; returns surviving findings."""
+    p = Path(path)
+    source = p.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(p))
+    except SyntaxError as exc:
+        return [
+            Finding(str(p), exc.lineno or 1, exc.offset or 0, "RL003", f"syntax error: {exc.msg}")
+        ]
+    facts = _ModuleFacts()
+    facts.visit(tree)
+    linter = _Linter(str(p), facts, _rl001_exempt(p))
+    linter.visit(tree)
+
+    lines = source.splitlines()
+    out = []
+    for f in linter.findings:
+        text = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+        allowed = _allowed_rules(text)
+        if allowed is not None and f.rule in allowed:
+            continue
+        out.append(f)
+    out.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return out
+
+
+def lint_paths(paths: Iterable) -> List[Finding]:
+    """Lint files and directories (recursively, ``*.py``)."""
+    findings: List[Finding] = []
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                findings.extend(lint_file(f))
+        else:
+            findings.extend(lint_file(p))
+    return findings

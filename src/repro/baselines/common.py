@@ -487,6 +487,10 @@ class BaselineClient:
         )
         self._cache: Dict[str, ResolvedDir] = {}
 
+    def prime_cache(self, path: str, resolved: ResolvedDir) -> None:
+        """Pre-populate the metadata cache (bootstrap/warm-up helper)."""
+        self._cache[path] = resolved
+
     # -- resolution ---------------------------------------------------------
     def resolve_dir(self, path: str) -> Generator:
         if path == "/":

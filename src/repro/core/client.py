@@ -123,6 +123,10 @@ class LibFS:
         self._cache[path] = resolved
         return resolved
 
+    def prime_cache(self, path: str, resolved: ResolvedDir) -> None:
+        """Pre-populate the metadata cache (bootstrap/warm-up helper)."""
+        self._cache[path] = resolved
+
     def invalidate_path(self, path: str) -> None:
         """Drop every cached entry on *path* (server said our view is stale)."""
         parts = path.rstrip("/").split("/")

@@ -14,8 +14,10 @@ initiates an aggregation to apply all delayed updates before rename").
 
 **File renames** stay on the fast path: no global serialisation, no
 aggregation, and — in async mode — **no parent inode locks at all**.
-Only the source and destination file inodes are locked (in one global
-key order, so concurrent renames never deadlock); the parent directory
+Only the source and destination file inodes are locked (targets before
+parents, sorted within each level, so concurrent renames never deadlock
+and the child-before-parent discipline matches the synchronous
+create/delete paths); the parent directory
 fix-ups take the same deferred change-log path as create/delete: the
 commit appends a ``DELETE(src)`` entry at the source owner and a
 ``CREATE(dst)`` entry at the destination owner, and the self-addressed
@@ -120,13 +122,9 @@ def run_rename(server: "MetadataServer", args: Dict[str, Any]) -> Generator:
     is_dir = args["is_dir"]
     serialise = is_dir  # directory renames only (orphan-loop prevention)
     if serialise:
-        if not hasattr(server, "_rename_serial"):
-            from ..sim import Lock
-
-            server._rename_serial = Lock(sim)
-        yield server._rename_serial.acquire()
+        yield server.rename_serializer().acquire()
     try:
-        yield from server._cpu(perf.path_check_us)
+        yield from server.charge_cpu(perf.path_check_us)
         if not server.inval.validate(args.get("ancestor_ids", ())):
             raise FSError("EINVALIDPATH", args.get("path", "?"))
         result = yield from rename_transaction(
@@ -137,7 +135,7 @@ def run_rename(server: "MetadataServer", args: Dict[str, Any]) -> Generator:
         return result
     finally:
         if serialise:
-            server._rename_serial.release()
+            server.rename_serializer().release()
 
 
 def rename_transaction(node, sim, cmap, perf, args: Dict[str, Any],
@@ -200,9 +198,20 @@ def rename_transaction(node, sim, cmap, perf, args: Dict[str, Any],
         )
         src_inode = value["inode"]
 
-    # -- round 1: locks in one global key order (checks/reads folded in) -----
-    # Concurrent renames acquire overlapping keys in the same order, so
-    # they never deadlock on each other.
+    # -- round 1: locks in target-then-parent order (checks/reads folded in) --
+    # Two-level hierarchical order: the rename *targets* (source and
+    # destination inode keys, sorted between themselves) before the
+    # *parent* directory keys (likewise sorted).  This matches the
+    # synchronous create/delete/mkdir paths in ops.py, which hold the
+    # target inode lock while applying the parent update — i.e. every
+    # participant acquires child before parent.  A flat global key sort
+    # would order "D"-prefixed parent keys before "F"-prefixed file keys
+    # (parent before child), the inverse of ops.py's discipline — a real
+    # lock-order cycle against a concurrent sync-mode create (found by
+    # ``repro analyze``'s cycle detector).  Within a level the sorted
+    # order keeps concurrent renames deadlock-free against each other,
+    # and cross-level safety holds because directory renames are globally
+    # serialised by the coordinator while file targets are never parents.
     #
     # File renames in async mode lock only the two file inodes: the parent
     # fix-ups take the deferred change-log path (appended at commit on the
@@ -213,14 +222,16 @@ def rename_transaction(node, sim, cmap, perf, args: Dict[str, Any],
         tuple(src_key): (src_owner, {"expect": True, "want_inode": not is_dir}),
         tuple(dst_key): (dst_owner, {"expect": False}),
     }
+    target_keys = set(lock_specs)
     defer_parents = (not is_dir) and async_updates
     if not defer_parents:
         lock_specs.setdefault(tuple(args["src_parent_key"]), (src_parent_owner, {}))
         lock_specs.setdefault(tuple(args["dst_parent_key"]), (dst_parent_owner, {}))
+    lock_order = sorted(target_keys) + sorted(set(lock_specs) - target_keys)
     locked_at = []
     failed_vote = None
     try:
-        for key in sorted(lock_specs.keys()):
+        for key in lock_order:
             addr, extra = lock_specs[key]
             value, _ = yield from node.call(
                 addr, "rename_lock",

@@ -62,11 +62,26 @@ class RenameParticipant:
         preserves per-name application order.
         """
         args = request.args
-        return (
-            yield from self._finish_async_update(
-                request, args["parent_fp"], args["parent_id"], args["entry"], locks=[]
+        # Same discipline as every other appender (create/delete/mkdir in
+        # ops.py): hold the parent's change-log lock in read mode across
+        # the append; drain and aggregation passes write-hold it.  The
+        # rename transaction behind this RPC holds only the two *file*
+        # inode locks (parents are deliberately unlocked in async mode),
+        # and change-log write-holders only ever acquire *directory*
+        # inode locks, so this acquisition cannot complete a lock cycle.
+        cl_lock = self._changelog_lock(args["parent_id"])
+        yield from self._acquire(cl_lock, "r")
+        deferred_unlock = False
+        try:
+            reply = yield from self._finish_async_update(
+                request, args["parent_fp"], args["parent_id"], args["entry"],
+                locks=[(cl_lock, "r")],
             )
-        )
+            deferred_unlock = reply is not None and reply.header is not None
+            return reply
+        finally:
+            if not deferred_unlock:
+                cl_lock.release_read()
 
     def _handle_rename_commit(self, request: RpcRequest, packet: Packet) -> Generator:
         args = request.args

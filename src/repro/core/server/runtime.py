@@ -31,7 +31,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 from ...kvstore import KVStore
 from ...net import RpcNode
 from ...net.topology import Network
-from ...sim import Counter, Event, PhaseStats, Resource, RWLock, Simulator
+from ...sim import Counter, Event, Lock, PhaseStats, Resource, RWLock, Simulator
 from ..config import FSConfig
 from ..schema import dir_meta_key, root_inode
 
@@ -49,7 +49,7 @@ class ServerRuntime:
         self.node = RpcNode(sim, net, addr)
         self.kv = KVStore()
         self.wal = self.kv.wal  # one shared WAL per server
-        self.cores = Resource(sim, config.cores_per_server)
+        self.cores = Resource(sim, config.cores_per_server, name=f"cores:{addr}")
         self.counters = Counter()
         self.phases = PhaseStats()
         self._inode_locks: Dict[Tuple, RWLock] = {}
@@ -57,6 +57,7 @@ class ServerRuntime:
         # rename fix-ups, recovery rebuild all resolve through this).
         self._dir_index: Dict[int, Tuple] = {}
         self._recovered_ev: Optional[Event] = None  # set while recovering
+        self._rename_serial: Optional[Lock] = None  # lazy, coordinator only
 
     # ------------------------------------------------------------------
     # RPC plumbing
@@ -119,7 +120,7 @@ class ServerRuntime:
     # ------------------------------------------------------------------
     # service-time accounting
     # ------------------------------------------------------------------
-    def _cpu(self, us: float) -> Generator:
+    def charge_cpu(self, us: float) -> Generator:
         """Charge *us* microseconds of CPU on one of this server's cores.
 
         Time spent waiting for a free core is recorded as ``queue``, the
@@ -135,6 +136,10 @@ class ServerRuntime:
             self.phases.add("queue", acquired - t0)
             self.phases.add("cpu", self.sim.now - acquired)
 
+    # Historical internal spelling; the server mixins predate the public
+    # name and charge through ``self._cpu`` throughout.
+    _cpu = charge_cpu
+
     def _net_penalty(self) -> Generator:
         """Extra per-message software cost (kernel-networking baselines)."""
         if self.perf.extra_net_us:
@@ -146,9 +151,20 @@ class ServerRuntime:
     def _inode_lock(self, key: Tuple) -> RWLock:
         lock = self._inode_locks.get(key)
         if lock is None:
-            lock = RWLock(self.sim)
+            lock = RWLock(self.sim, name=f"inode:{self.addr}:{key!r}")
             self._inode_locks[key] = lock
         return lock
+
+    def rename_serializer(self) -> Lock:
+        """The coordinator's global rename serialisation lock (lazy).
+
+        Directory renames must be globally serialised to keep orphan-loop
+        prevention sound (§4.3); the rename coordinator takes this lock
+        around each directory-rename transaction.
+        """
+        if self._rename_serial is None:
+            self._rename_serial = Lock(self.sim, name=f"rename-serial:{self.addr}")
+        return self._rename_serial
 
     def _acquire(self, lock: RWLock, mode: str) -> Generator:
         """Acquire *lock* (``"r"``/``"w"``), recording ``lock`` wait time."""
@@ -180,6 +196,14 @@ class ServerRuntime:
     # ------------------------------------------------------------------
     # bootstrap
     # ------------------------------------------------------------------
+    def index_directory(self, dir_id: int, key: Tuple) -> None:
+        """Record *dir_id* -> inode *key* in this server's directory index.
+
+        Public surface for bootstrap/population code; the server's own
+        workflows maintain ``_dir_index`` inline as they apply updates.
+        """
+        self._dir_index[dir_id] = key
+
     def install_root_inode(self) -> None:
         """Install the root inode (WAL-logged so it survives crash+replay)."""
         root = root_inode()

@@ -195,8 +195,12 @@ class KVStore:
         """Begin a local transaction; commit applies all ops atomically."""
         return Transaction(self)
 
-    def _commit(self, ops: List[Tuple[str, Key, Any]]) -> None:
-        """Apply a transaction's ops under a single WAL record."""
+    def commit_ops(self, ops: List[Tuple[str, Key, Any]]) -> None:
+        """Apply a transaction's ops under a single WAL record.
+
+        Called by :meth:`Transaction.commit`; usable directly for
+        replaying an already-validated op list (recovery).
+        """
         if self._log_writes:
             self.wal.append("txn", list(ops))
         for op, key, value in ops:

@@ -63,7 +63,7 @@ class Transaction:
         self._check_open()
         self._done = True
         if self._order:
-            self._store._commit(self._order)
+            self._store.commit_ops(self._order)
 
     def abort(self) -> None:
         self._check_open()

@@ -73,7 +73,9 @@ class FaultModel:
     @classmethod
     def reliable(cls) -> "FaultModel":
         """A fault model that never drops, duplicates, or reorders."""
-        return cls(random.Random(0))
+        from ..sim.rand import make_rng
+
+        return cls(make_rng(0, "reliable"))
 
     def decide(self) -> FaultDecision:
         """Roll the dice for one transmission."""

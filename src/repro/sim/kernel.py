@@ -460,12 +460,21 @@ class Simulator:
     deterministic: ties in virtual time break by insertion order.
     """
 
+    #: Process class used by spawn/adopt.  Swapped for a traced subclass
+    #: while an analysis tracer is attached (see :meth:`set_tracer`) so
+    #: the stock :class:`Process` trampoline carries zero tracing cost.
+    _process_cls = Process
+
     def __init__(self):
         self._now = 0.0
         self._heap: List = []
         self._counter = itertools.count()
         self._stopped = False
         self._timeout_pool: List[Timeout] = []
+        #: Attached :class:`repro.analysis.trace.SimTracer`, or ``None``.
+        #: The resource primitives test this on every acquire/release —
+        #: their only instrumentation cost when tracing is off.
+        self.tracer = None
         # Shared pre-processed success event for valueless immediate grants
         # (see resources.py).  Processed events are immutable, so one
         # instance serves every uncontended acquire in this simulator.
@@ -518,9 +527,22 @@ class Simulator:
         ev._processed = True
         return ev
 
+    def set_tracer(self, tracer, process_cls=None) -> None:
+        """Attach (or, with ``None``, detach) an analysis tracer.
+
+        *process_cls*, when given, replaces the class used for newly
+        spawned/adopted processes — the tracing hook point.  Passing
+        ``tracer=None`` restores the stock :class:`Process`.
+        """
+        self.tracer = tracer
+        if tracer is None:
+            self.__dict__.pop("_process_cls", None)  # back to the class attr
+        elif process_cls is not None:
+            self._process_cls = process_cls
+
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start a new process from generator *gen*."""
-        return Process(self, gen, name=name)
+        return self._process_cls(self, gen, name=name)
 
     def adopt(self, gen: Generator, waiting_on: Event, name: str = "") -> Process:
         """Wrap an already-started generator in a process (inline dispatch).
@@ -534,7 +556,7 @@ class Simulator:
         """
         if waiting_on._processed:
             raise SimulationError("adopt requires a pending event")
-        proc = Process(self, gen, name=name, boot=False)
+        proc = self._process_cls(self, gen, name=name, boot=False)
         proc._waiting_on = waiting_on
         # Inlined add_callback single-waiter case (mirrors Process._resume).
         if waiting_on._cb1 is None and waiting_on.callbacks is None:
@@ -550,11 +572,17 @@ class Simulator:
         return AnyOf(self, events)
 
     # -- scheduling internals ----------------------------------------------
-    def _schedule_at(self, when: float, event: Event) -> None:
+    def schedule_at(self, when: float, event: Event) -> None:
+        """Enqueue *event* to run its callbacks at virtual time *when*.
+
+        Public scheduling surface for components that manage their own
+        events (the network hop path inlines the equivalent heappush —
+        see topology.py for the documented exception).
+        """
         heapq.heappush(self._heap, (when, next(self._counter), event))
 
     def _enqueue_triggered(self, event: Event) -> None:
-        self._schedule_at(self._now, event)
+        self.schedule_at(self._now, event)
 
     def _recycle(self, t: Timeout) -> None:
         """Return a processed timeout to the pool if nothing references it.

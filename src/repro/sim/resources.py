@@ -43,11 +43,12 @@ class Resource:
     hold as a sub-process-friendly generator.
     """
 
-    def __init__(self, sim: Simulator, capacity: int):
+    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
+        self.name = name
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
 
@@ -60,6 +61,10 @@ class Resource:
         return len(self._waiters)
 
     def acquire(self) -> Event:
+        # Analysis hook: one global-attribute load + None test when idle.
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.on_acquire(self, "x")
         if self._in_use < self.capacity:
             self._in_use += 1
             return self.sim.granted()
@@ -68,6 +73,9 @@ class Resource:
         return ev
 
     def release(self) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.on_release(self, "x")
         if self._in_use <= 0:
             raise SimulationError("release of an idle resource")
         if self._waiters:
@@ -89,8 +97,8 @@ class Resource:
 class Lock(Resource):
     """A mutual-exclusion lock (capacity-1 resource)."""
 
-    def __init__(self, sim: Simulator):
-        super().__init__(sim, capacity=1)
+    def __init__(self, sim: Simulator, name: str = ""):
+        super().__init__(sim, capacity=1, name=name)
 
     @property
     def locked(self) -> bool:
@@ -106,8 +114,9 @@ class RWLock:
     and keeps runs deterministic.
     """
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
+        self.name = name
         self._readers = 0
         self._writer = False
         # Queue of (is_writer, event) in arrival order.
@@ -122,6 +131,9 @@ class RWLock:
         return self._writer
 
     def acquire_read(self) -> Event:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.on_acquire(self, "r")
         if not self._writer and not self._waiters:
             self._readers += 1
             return self.sim.granted()
@@ -130,6 +142,9 @@ class RWLock:
         return ev
 
     def acquire_write(self) -> Event:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.on_acquire(self, "w")
         if not self._writer and self._readers == 0 and not self._waiters:
             self._writer = True
             return self.sim.granted()
@@ -138,12 +153,18 @@ class RWLock:
         return ev
 
     def release_read(self) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.on_release(self, "r")
         if self._readers <= 0:
             raise SimulationError("release_read without a read hold")
         self._readers -= 1
         self._drain()
 
     def release_write(self) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.on_release(self, "w")
         if not self._writer:
             raise SimulationError("release_write without a write hold")
         self._writer = False

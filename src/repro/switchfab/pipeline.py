@@ -37,13 +37,13 @@ class RegisterStage:
     * :meth:`conditional_remove` — zero the register if it equals *tag*.
     """
 
-    __slots__ = ("size", "_regs", "occupied")
+    __slots__ = ("size", "regs", "occupied")
 
     def __init__(self, size: int):
         if size < 1:
             raise ValueError(f"stage size must be >= 1, got {size}")
         self.size = size
-        self._regs: List[int] = [EMPTY] * size
+        self.regs: List[int] = [EMPTY] * size
         self.occupied = 0
 
     def _check(self, index: int, tag: int) -> None:
@@ -57,7 +57,7 @@ class RegisterStage:
     def query(self, index: int, tag: int) -> bool:
         """Register action (a): does the register hold *tag*?"""
         self._check(index, tag)
-        return self._regs[index] == tag
+        return self.regs[index] == tag
 
     def conditional_insert(self, index: int, tag: int) -> bool:
         """Register action (b): write *tag* if empty.
@@ -67,9 +67,9 @@ class RegisterStage:
         insert is idempotent).
         """
         self._check(index, tag)
-        current = self._regs[index]
+        current = self.regs[index]
         if current == EMPTY:
-            self._regs[index] = tag
+            self.regs[index] = tag
             self.occupied += 1
             return True
         return current == tag
@@ -77,8 +77,8 @@ class RegisterStage:
     def conditional_remove(self, index: int, tag: int) -> None:
         """Register action (c): zero the register if it equals *tag*."""
         self._check(index, tag)
-        if self._regs[index] == tag:
-            self._regs[index] = EMPTY
+        if self.regs[index] == tag:
+            self.regs[index] = EMPTY
             self.occupied -= 1
 
     # -- unchecked variants (switch datapath fast path) --------------------
@@ -88,22 +88,22 @@ class RegisterStage:
     # re-checking per stage would validate identical values ten times per
     # packet.  External callers use the checked actions above.
     def query_unchecked(self, index: int, tag: int) -> bool:
-        return self._regs[index] == tag
+        return self.regs[index] == tag
 
     def conditional_insert_unchecked(self, index: int, tag: int) -> bool:
-        current = self._regs[index]
+        current = self.regs[index]
         if current == EMPTY:
-            self._regs[index] = tag
+            self.regs[index] = tag
             self.occupied += 1
             return True
         return current == tag
 
     def conditional_remove_unchecked(self, index: int, tag: int) -> None:
-        if self._regs[index] == tag:
-            self._regs[index] = EMPTY
+        if self.regs[index] == tag:
+            self.regs[index] = EMPTY
             self.occupied -= 1
 
     def reset(self) -> None:
         """Clear every register (switch failure / control-plane flush)."""
-        self._regs = [EMPTY] * self.size
+        self.regs = [EMPTY] * self.size
         self.occupied = 0

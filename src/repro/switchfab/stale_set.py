@@ -111,7 +111,7 @@ class StaleSet:
         self.queries += 1
         index, tag = self.split(fingerprint)
         for stage in self._stages:
-            if stage.occupied and stage._regs[index] == tag:
+            if stage.occupied and stage.regs[index] == tag:
                 return True
         return False
 

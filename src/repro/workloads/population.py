@@ -155,7 +155,7 @@ def _install(population: Population, cluster, placement, log_writes: bool) -> No
             ctime=now, mtime=now, entry_count=population.files_per_dir,
         )
         owner.kv.put(dir_meta_key(ROOT_ID, dname), inode, log=log_writes)
-        owner._dir_index[dir_id] = dir_meta_key(ROOT_ID, dname)
+        owner.index_directory(dir_id, dir_meta_key(ROOT_ID, dname))
         root_owner.kv.put(
             dir_entry_key(ROOT_ID, dname), DirEntry(True, 0o755), log=log_writes
         )
@@ -181,11 +181,14 @@ def warm_client_cache(
     """Prime a client's metadata cache with the population's directories."""
     fs = cluster.client(client_idx)
     for dname in population.dirs:
-        fs._cache[f"/{dname}"] = ResolvedDir(
-            id=population.dir_ids[dname],
-            fingerprint=population.dir_fps[dname],
-            pid=ROOT_ID,
-            name=dname,
-            perm=0o755,
-            ancestor_ids=(population.dir_ids[dname],),
+        fs.prime_cache(
+            f"/{dname}",
+            ResolvedDir(
+                id=population.dir_ids[dname],
+                fingerprint=population.dir_fps[dname],
+                pid=ROOT_ID,
+                name=dname,
+                perm=0o755,
+                ancestor_ids=(population.dir_ids[dname],),
+            ),
         )

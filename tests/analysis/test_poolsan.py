@@ -1,0 +1,172 @@
+"""Pool sanitizer: traps on protocol violations, silence on legit paths."""
+
+import pytest
+
+from repro.analysis import PoolSanitizer, pool_sanitizer_enabled
+from repro.analysis.poolsan import PoolSanitizerError
+from repro.net.packet import (
+    Packet,
+    StaleSetHeader,
+    StaleSetOp,
+    alloc_header,
+    alloc_packet,
+    pool_sanitizer,
+    recycle_header,
+    recycle_packet,
+)
+
+
+# The autouse fixture in tests/conftest.py already installs a sanitizer
+# for every test; these tests use it directly via pool_sanitizer().
+
+
+def test_fixture_installs_sanitizer():
+    assert isinstance(pool_sanitizer(), PoolSanitizer)
+
+
+class TestPacketTraps:
+    def test_use_after_recycle_read_traps_with_actionable_message(self):
+        p = alloc_packet("a", "b", {"n": 1})
+        uid = p.uid
+        recycle_packet(p)
+        with pytest.raises(PoolSanitizerError) as ei:
+            p.payload
+        msg = str(ei.value)
+        assert "use-after-recycle" in msg
+        assert "Packet" in msg
+        assert f"uid={uid}" in msg
+        assert "recycled at" in msg
+        assert "fix:" in msg
+
+    def test_use_after_recycle_write_traps(self):
+        p = alloc_packet("a", "b", None)
+        recycle_packet(p)
+        with pytest.raises(PoolSanitizerError, match="use-after-recycle"):
+            p.dst = "elsewhere"
+
+    def test_double_recycle_traps(self):
+        p = alloc_packet("a", "b", None)
+        recycle_packet(p)
+        with pytest.raises(PoolSanitizerError) as ei:
+            recycle_packet(p)
+        msg = str(ei.value)
+        assert "double-recycle" in msg
+        assert "first recycled at" in msg
+
+    def test_trap_message_names_the_recycling_test(self):
+        # The captured recycle site should point at caller code, not at
+        # the pool/sanitizer internals.
+        p = alloc_packet("a", "b", None)
+        recycle_packet(p)
+        with pytest.raises(PoolSanitizerError) as ei:
+            p.src
+        assert "test_poolsan.py" in str(ei.value)
+
+
+class TestHeaderTraps:
+    def test_header_use_after_recycle_traps(self):
+        h = StaleSetHeader(StaleSetOp.INSERT, fingerprint=7, seq=3)
+        recycle_header(h)
+        with pytest.raises(PoolSanitizerError) as ei:
+            h.fingerprint
+        msg = str(ei.value)
+        assert "use-after-recycle" in msg
+        assert "StaleSetHeader" in msg
+
+    def test_header_double_recycle_traps(self):
+        h = StaleSetHeader(StaleSetOp.QUERY, fingerprint=9)
+        recycle_header(h)
+        with pytest.raises(PoolSanitizerError, match="double-recycle"):
+            recycle_header(h)
+
+    def test_poisoned_header_comparison_traps(self):
+        h = StaleSetHeader(StaleSetOp.QUERY, fingerprint=9)
+        recycle_header(h)
+        with pytest.raises(PoolSanitizerError):
+            h == StaleSetHeader(StaleSetOp.QUERY, fingerprint=9)
+
+
+class TestLegitPathsStaySilent:
+    def test_alloc_recycle_alloc_round_trip(self):
+        p = alloc_packet("a", "b", {"n": 1})
+        recycle_packet(p)
+        q = alloc_packet("c", "d", {"n": 2})
+        # Reuse is fine once reallocated: fields are fresh, uid is new.
+        assert q.src == "c" and q.payload == {"n": 2}
+        recycle_packet(q)
+
+    def test_live_packet_recycle_is_silently_skipped(self):
+        p = alloc_packet("a", "b", None)
+        keep = p  # second reference: the refcount guard must refuse
+        recycle_packet(p)
+        assert p.src == "a"  # still live, not poisoned
+        assert keep.src == "a"
+        assert pool_sanitizer().stats["skipped_live"] >= 1
+
+    def test_header_pool_round_trip_through_with_ret(self):
+        h = alloc_header(StaleSetOp.QUERY, fingerprint=11)
+        h2 = h.with_ret(1)
+        assert h2.ret == 1 and h2.fingerprint == 11
+        recycle_header(h)
+        recycle_header(h2)
+        h3 = alloc_header(StaleSetOp.INSERT, fingerprint=12)
+        assert h3.fingerprint == 12
+
+    def test_clone_keeps_both_packets_usable(self):
+        p = alloc_packet("a", "b", {"n": 1})
+        q = p.clone(dst="c")
+        assert p.dst == "b" and q.dst == "c"
+        recycle_packet(q)
+        assert p.payload == {"n": 1}
+
+
+class TestAliasing:
+    def test_pin_trap_when_reference_recycled_underneath(self):
+        san = pool_sanitizer()
+        p = alloc_packet("a", "b", None)
+        token = san.pin(p)
+        del p  # process keeps only the pin across its yield
+        recycle_packet(token["obj"])  # another process recycles it
+        with pytest.raises(PoolSanitizerError, match="pinned reference"):
+            san.check_pin(token)
+
+    def test_pin_trap_on_reallocation_aliasing(self):
+        san = pool_sanitizer()
+        p = alloc_packet("a", "b", None)
+        token = san.pin(p)
+        del p
+        recycle_packet(token["obj"])
+        q = alloc_packet("x", "y", None)  # pops the same instance
+        assert q is token["obj"]
+        with pytest.raises(PoolSanitizerError, match="cross-process aliasing"):
+            san.check_pin(token)
+
+    def test_pin_is_silent_when_nothing_happened(self):
+        san = pool_sanitizer()
+        p = alloc_packet("a", "b", None)
+        token = san.pin(p)
+        san.check_pin(token)  # no recycle: no trap
+
+
+class TestEnablement:
+    def test_context_manager_installs_and_uninstalls(self):
+        outer = pool_sanitizer()
+        with pool_sanitizer_enabled() as san:
+            assert pool_sanitizer() is san
+            assert san is not outer
+        assert pool_sanitizer() is None
+
+    def test_unsanitized_mode_still_pools(self):
+        from repro.analysis import uninstall_pool_sanitizer
+
+        uninstall_pool_sanitizer()
+        try:
+            p = alloc_packet("a", "b", None)
+            recycle_packet(p)
+            q = alloc_packet("c", "d", None)
+            assert q is p  # plain freelist reuse, no poisoning
+            assert q.src == "c"
+        finally:
+            from repro.analysis import install_pool_sanitizer
+
+            install_pool_sanitizer()

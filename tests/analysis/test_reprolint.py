@@ -1,0 +1,375 @@
+"""reprolint: each rule catches its seeded violation, allowlists work."""
+
+import textwrap
+
+from repro.analysis import Finding, format_finding, lint_paths
+from repro.analysis.reprolint import RULES, lint_file
+
+
+def _write(tmp_path, name, source):
+    p = tmp_path / name
+    p.write_text(textwrap.dedent(source), encoding="utf-8")
+    return p
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestRL001WallClock:
+    def test_time_and_random_module_calls_flagged(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            import time
+            import random
+
+            def handler(sim):
+                start = time.monotonic()
+                jitter = random.random()
+                return start + jitter
+            """,
+        )
+        findings = lint_file(p)
+        assert _rules(findings) == ["RL001", "RL001"]
+        assert "determinism" in findings[0].message
+
+    def test_from_imports_and_datetime_now_flagged(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            from time import monotonic
+            from datetime import datetime
+
+            def stamp():
+                return monotonic(), datetime.now()
+            """,
+        )
+        assert _rules(lint_file(p)) == ["RL001", "RL001"]
+
+    def test_seeded_rng_helper_is_clean(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            from repro.sim.rand import make_rng
+
+            def pick(seed):
+                return make_rng(seed, "pick").randrange(10)
+            """,
+        )
+        assert lint_file(p) == []
+
+    def test_bench_paths_are_exempt(self, tmp_path):
+        bench = tmp_path / "bench"
+        bench.mkdir()
+        p = _write(
+            bench,
+            "harness.py",
+            """
+            import time
+
+            def wall():
+                return time.perf_counter()
+            """,
+        )
+        assert lint_file(p) == []
+
+
+class TestRL002PrivateAccess:
+    def test_cross_module_private_attribute_flagged(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def peek(server):
+                return server._dir_index
+            """,
+        )
+        findings = lint_file(p)
+        assert _rules(findings) == ["RL002"]
+        assert "public accessor" in findings[0].message
+
+    def test_self_and_locally_defined_privates_are_clean(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            class Box:
+                def __init__(self):
+                    self._items = []
+
+                def push(self, x):
+                    self._items.append(x)
+
+            def drain(box):
+                # _items is defined by this module's own class: allowed.
+                return box._items
+            """,
+        )
+        assert lint_file(p) == []
+
+    def test_dunder_access_is_clean(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def name_of(obj):
+                return type(obj).__name__
+            """,
+        )
+        assert lint_file(p) == []
+
+
+class TestRL003BareExcept:
+    def test_bare_except_flagged(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def risky(op):
+                try:
+                    op()
+                except:
+                    pass
+            """,
+        )
+        findings = lint_file(p)
+        assert _rules(findings) == ["RL003"]
+        assert "Interrupt" in findings[0].message
+
+    def test_swallowing_baseexception_flagged(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def risky(op):
+                try:
+                    op()
+                except BaseException:
+                    pass
+            """,
+        )
+        assert _rules(lint_file(p)) == ["RL003"]
+
+    def test_reraising_baseexception_is_clean(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def risky(op, log):
+                try:
+                    op()
+                except BaseException:
+                    log()
+                    raise
+                except Exception as exc:
+                    log(exc)
+            """,
+        )
+        assert lint_file(p) == []
+
+
+class TestRL004UnadoptedGenerator:
+    def test_bare_generator_call_flagged(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def workflow(sim):
+                yield sim.timeout(1)
+
+            def handler(sim):
+                workflow(sim)
+            """,
+        )
+        findings = lint_file(p)
+        assert _rules(findings) == ["RL004"]
+        assert "never" in findings[0].message
+
+    def test_driven_and_spawned_generators_are_clean(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def workflow(sim):
+                yield sim.timeout(1)
+
+            def outer(sim):
+                sim.spawn(workflow(sim))
+                result = yield from workflow(sim)
+                return result
+            """,
+        )
+        assert lint_file(p) == []
+
+    def test_self_method_generator_call_flagged(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            class Server:
+                def _work(self):
+                    yield 1
+
+                def handle(self):
+                    self._work()
+            """,
+        )
+        assert _rules(lint_file(p)) == ["RL004"]
+
+
+class TestRL005PoolProtocol:
+    def test_use_after_recycle_flagged(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def respond(p, recycle_packet):
+                recycle_packet(p)
+                return p.payload
+            """,
+        )
+        findings = lint_file(p)
+        assert _rules(findings) == ["RL005"]
+        assert "after recycle" in findings[0].message
+
+    def test_double_recycle_flagged(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def drop(p, recycle_packet):
+                recycle_packet(p)
+                recycle_packet(p)
+            """,
+        )
+        findings = lint_file(p)
+        assert _rules(findings) == ["RL005"]
+        assert "double recycle" in findings[0].message
+
+    def test_rebinding_clears_the_taint(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def loop(alloc_packet, recycle_packet):
+                p = alloc_packet()
+                recycle_packet(p)
+                p = alloc_packet()
+                return p.src
+            """,
+        )
+        assert lint_file(p) == []
+
+    def test_copy_before_recycle_is_clean(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def respond(p, recycle_packet):
+                value = p.payload
+                recycle_packet(p)
+                return value
+            """,
+        )
+        assert lint_file(p) == []
+
+
+class TestSuppressionAndOutput:
+    def test_allow_comment_suppresses_named_rule(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def peek(server):
+                return server._heap  # reprolint: allow[private-access] hot path
+            """,
+        )
+        assert lint_file(p) == []
+
+    def test_allow_star_suppresses_everything_on_the_line(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            import time
+
+            def wall(server):
+                return time.monotonic(), server._heap  # reprolint: allow[*] bench-only
+            """,
+        )
+        assert lint_file(p) == []
+
+    def test_allow_comment_does_not_leak_to_other_lines(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def peek(server):
+                a = server._heap  # reprolint: allow[private-access] ok here
+                return server._heap
+            """,
+        )
+        assert _rules(lint_file(p)) == ["RL002"]
+
+    def test_format_finding_layout(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def peek(server):
+                return server._heap
+            """,
+        )
+        (finding,) = lint_file(p)
+        assert isinstance(finding, Finding)
+        text = format_finding(finding)
+        assert text.startswith(f"{p}:3:")
+        assert "RL002[private-access]" in text
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        _write(tmp_path, "clean.py", "x = 1\n")
+        _write(
+            tmp_path,
+            "dirty.py",
+            """
+            def peek(server):
+                return server._heap
+            """,
+        )
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        _write(
+            sub,
+            "nested.py",
+            """
+            def risky(op):
+                try:
+                    op()
+                except:
+                    pass
+            """,
+        )
+        findings = lint_paths([tmp_path])
+        assert sorted(_rules(findings)) == ["RL002", "RL003"]
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        p = _write(tmp_path, "broken.py", "def oops(:\n")
+        findings = lint_file(p)
+        assert len(findings) == 1
+        assert "syntax error" in findings[0].message
+
+    def test_rule_table_is_complete(self):
+        assert set(RULES) == {"RL001", "RL002", "RL003", "RL004", "RL005"}
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_findings(self):
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[2] / "src"
+        findings = lint_paths([src])
+        assert findings == [], "\n".join(format_finding(f) for f in findings)

@@ -70,6 +70,47 @@ class TestFaults:
         assert "correct" in out and "yes" in out
 
 
+class TestLint:
+    def test_clean_file_exits_zero(self, capsys, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("def add(a, b):\n    return a + b\n", encoding="utf-8")
+        code, out = run_cli(capsys, ["lint", str(target)])
+        assert code == 0
+        assert "clean" in out
+
+    def test_findings_exit_nonzero_and_print_locations(self, capsys, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text(
+            "import time\n\ndef wall():\n    return time.monotonic()\n",
+            encoding="utf-8",
+        )
+        code, out = run_cli(capsys, ["lint", str(target)])
+        assert code == 1
+        assert "RL001[wall-clock]" in out
+        assert "dirty.py:4" in out
+        assert "1 finding(s)" in out
+
+    def test_src_tree_is_clean(self, capsys):
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parents[1] / "src"
+        code, out = run_cli(capsys, ["lint", str(src)])
+        assert code == 0, out
+        assert "clean" in out
+
+
+class TestAnalyze:
+    def test_traced_run_reports_clean(self, capsys):
+        code, out = run_cli(capsys, [
+            "analyze", "--ops", "25", "--servers", "2", "--cores", "2",
+            "--no-stacks", "--strict",
+        ])
+        assert code == 0
+        assert "simulation analysis report" in out
+        assert "lock-order cycles: 0" in out
+        assert "no lock-order cycles or lockset races detected" in out
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
