@@ -55,6 +55,7 @@ __all__ = [
     "bench_rpc",
     "bench_store",
     "bench_e2e",
+    "bench_elasticity",
     "record_entry",
     "load_trajectory",
     "compare_rates",
@@ -690,6 +691,107 @@ def bench_e2e(scale: str = "full", repeats: int = 1) -> Dict[str, Dict[str, floa
             best = entry
     assert best is not None
     return {"fig11_hotspot_create": best}
+
+
+ELASTICITY_SCALES = {
+    # Hotspot creates riding through a mid-run join and leave.
+    "full": {"total_ops": 4000, "inflight": 64, "num_servers": 4},
+    "tiny": {"total_ops": 300, "inflight": 16, "num_servers": 2},
+}
+
+_ELASTICITY_TIMELINE_BUCKETS = 20
+
+
+def bench_elasticity(scale: str = "full") -> Dict[str, Dict[str, Any]]:
+    """Throughput during elastic scale-up/down plus the migration stall.
+
+    A fixed-in-flight create stream runs against a shared directory; at
+    one third of completions a server joins (live shard migration in),
+    at two thirds the joiner leaves again.  Clients ride through both
+    epoch bumps on stale views, so the WrongEpoch redirect path is on
+    the measured path.  The entry reports wall-clock rate like the
+    other e2e points plus a virtual-time throughput timeline and the
+    per-transition drain/stall breakdown for the elasticity figure.
+    """
+    from ..sim import AllOf
+    from ..workloads import FixedOpStream, bootstrap, single_large_directory
+
+    params = ELASTICITY_SCALES[scale]
+    total = params["total_ops"]
+    cluster = make_cluster(
+        "SwitchFS", scaled_config(num_servers=params["num_servers"])
+    )
+    sim = cluster.sim
+    pop = bootstrap(cluster, single_large_directory(total + 200), warm_clients=[0])
+    stream = FixedOpStream("create", pop, seed=17, dir_choice="single")
+    state = {"issued": 0, "completed": 0}
+    completions: List[float] = []
+    events: Dict[str, Any] = {}
+
+    def worker():
+        fs = cluster.client(0)
+        while state["issued"] < total:
+            state["issued"] += 1
+            thunk = stream.take()
+            yield from thunk(fs)
+            state["completed"] += 1
+            completions.append(sim.now)
+
+    def controller():
+        while state["completed"] < total // 3:
+            yield sim.timeout(50.0)
+        events["scale_up_at_us"] = sim.now
+        events["scale_up"] = yield from cluster.scale_up_gen()
+        while state["completed"] < (2 * total) // 3:
+            yield sim.timeout(50.0)
+        events["scale_down_at_us"] = sim.now
+        events["scale_down"] = yield from cluster.scale_down_gen(
+            cluster.servers[-1].addr
+        )
+
+    def join(procs):
+        yield AllOf(sim, procs)
+
+    start = sim.now
+    wall0 = time.time()
+    procs = [
+        sim.spawn(worker(), name=f"elastic-worker-{w}")
+        for w in range(params["inflight"])
+    ]
+    procs.append(sim.spawn(controller(), name="elastic-controller"))
+    sim.run_process(sim.spawn(join(procs), name="elastic-join"))
+    wall = time.time() - wall0
+
+    end = completions[-1] if completions else sim.now
+    elapsed = max(end - start, 1e-9)
+    width = elapsed / _ELASTICITY_TIMELINE_BUCKETS
+    buckets = [0] * _ELASTICITY_TIMELINE_BUCKETS
+    for t in completions:
+        idx = min(int((t - start) / width), _ELASTICITY_TIMELINE_BUCKETS - 1)
+        buckets[idx] += 1
+    up, down = events["scale_up"], events["scale_down"]
+    client = cluster.client(0)
+    entry: Dict[str, Any] = {
+        "ops": total,
+        "wall_seconds": round(wall, 6),
+        "wall_ops_per_sec": round(total / wall, 1) if wall else 0.0,
+        "sim_elapsed_us": round(elapsed, 3),
+        "sim_throughput_kops": round(total / elapsed * 1000.0, 2),
+        "final_epoch": down["epoch"],
+        "scale_up_at_us": round(events["scale_up_at_us"] - start, 3),
+        "scale_up_drain_us": round(up["drain_us"], 3),
+        "scale_up_stall_us": round(up["stall_us"], 3),
+        "scale_down_at_us": round(events["scale_down_at_us"] - start, 3),
+        "scale_down_drain_us": round(down["drain_us"], 3),
+        "scale_down_stall_us": round(down["stall_us"], 3),
+        "migrated_keys": up["migrated_keys"] + down["migrated_keys"],
+        "wrong_epoch_retries": client.counters.get("wrong_epoch_retries"),
+        "timeline_bucket_us": round(width, 3),
+        "timeline_kops": [
+            round(n / width * 1000.0, 2) for n in buckets
+        ],
+    }
+    return {"elasticity_scale_up_down": entry}
 
 
 # ---------------------------------------------------------------------------

@@ -222,6 +222,7 @@ def cmd_perf(args) -> int:
     """Wall-clock suites; see benchmarks/perf/ and EXPERIMENTS.md."""
     from .bench.perf import (
         bench_e2e,
+        bench_elasticity,
         bench_kernel,
         bench_rpc,
         bench_store,
@@ -270,6 +271,7 @@ def cmd_perf(args) -> int:
             recorded.append(path)
     if "e2e" in selected:
         e2e = bench_e2e(scale=scale)
+        e2e.update(bench_elasticity(scale=scale))
         print_table(
             f"end-to-end wall clock ({scale})",
             ["benchmark", "ops/s wall", "wall s"],

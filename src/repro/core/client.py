@@ -24,7 +24,8 @@ from ..net.topology import Network
 from ..sim import Counter, Simulator
 from .clustermap import ClusterMap
 from .config import FSConfig
-from .errors import EINVALIDPATH, ENOENT, FSError, fs_error
+from .errors import EINVALIDPATH, ENOENT, EWRONGEPOCH, FSError, fs_error
+from .membership import MembershipView
 from .schema import ROOT_ID, fingerprint_of, root_inode
 
 __all__ = ["LibFS", "ResolvedDir"]
@@ -71,6 +72,11 @@ class LibFS:
         self.config = config
         self.perf = config.perf
         self.cmap = cmap
+        # Clients route against an epoch snapshot, not the live map: a
+        # migration bumps the cluster's epoch without telling clients, and
+        # the WrongEpoch redirect protocol (refresh + retry) is how a
+        # stale view catches up — exactly like a real deployment.
+        self._view: MembershipView = cmap.view
         self.node = RpcNode(sim, net, addr)
         self.counters = Counter()
         root = root_inode()
@@ -106,7 +112,7 @@ class LibFS:
         parent_path, name = split_path(path)
         parent = yield from self.resolve_dir(parent_path)
         fp = fingerprint_of(parent.id, name)
-        owner = self.cmap.dir_owner_by_fp(fp)
+        owner = self._view.dir_owner_by_fp(fp)
         try:
             value, _ = yield from self._call(owner, "lookup_dir", {"pid": parent.id, "name": name})
         except FSError:
@@ -152,7 +158,7 @@ class LibFS:
         def attempt() -> Generator:
             parent_path, name = split_path(path)
             parent = yield from self.resolve_dir(parent_path)
-            owner = self.cmap.file_owner(parent.id, name)
+            owner = self._view.file_owner(parent.id, name)
             args = {
                 "pid": parent.id,
                 "name": name,
@@ -171,7 +177,7 @@ class LibFS:
             parent_path, name = split_path(path)
             parent = yield from self.resolve_dir(parent_path)
             fp = fingerprint_of(parent.id, name)
-            owner = self.cmap.dir_owner_by_fp(fp)
+            owner = self._view.dir_owner_by_fp(fp)
             args = {
                 "pid": parent.id,
                 "name": name,
@@ -190,7 +196,7 @@ class LibFS:
             target = yield from self.resolve_dir(path)
             parent_path, name = split_path(path)
             parent = yield from self.resolve_dir(parent_path)
-            owner = self.cmap.dir_owner_by_fp(target.fingerprint)
+            owner = self._view.dir_owner_by_fp(target.fingerprint)
             args = {
                 "pid": parent.id,
                 "name": name,
@@ -219,7 +225,7 @@ class LibFS:
         def attempt() -> Generator:
             parent_path, name = split_path(path)
             parent = yield from self.resolve_dir(parent_path)
-            owner = self.cmap.file_owner(parent.id, name)
+            owner = self._view.file_owner(parent.id, name)
             args = {
                 "pid": parent.id,
                 "name": name,
@@ -260,7 +266,7 @@ class LibFS:
 
         def attempt() -> Generator:
             target = yield from self.resolve_dir(path)
-            owner = self.cmap.dir_owner_by_fp(target.fingerprint)
+            owner = self._view.dir_owner_by_fp(target.fingerprint)
             args = {
                 "pid": target.pid,
                 "name": target.name,
@@ -318,7 +324,7 @@ class LibFS:
                 # Directory renames delegate to the centralised coordinator
                 # (orphan-loop prevention needs global serialisation).
                 value, _ = yield from self._call(
-                    self.cmap.rename_coordinator, "rename", args
+                    self._view.rename_coordinator, "rename", args
                 )
             else:
                 # File renames cannot create loops: the client drives the
@@ -329,7 +335,7 @@ class LibFS:
                 yield self.sim.timeout(self.perf.client_cpu_us)
                 try:
                     value = yield from rename_transaction(
-                        self.node, self.sim, self.cmap, self.perf, args,
+                        self.node, self.sim, self._view, self.perf, args,
                         async_updates=self.config.async_updates,
                     )
                 except FSError:
@@ -365,15 +371,48 @@ class LibFS:
         except RpcError as exc:
             raise fs_error(str(exc)) from exc
 
+    def _refresh_view(self) -> Generator:
+        """Fetch the current membership view after a WrongEpoch redirect.
+
+        Asks the servers of the (stale) view in order; retired servers
+        keep answering ``get_membership``, so at least one address in any
+        stale view is reachable.  Adopts the reply only if it is newer.
+        """
+        for addr in self._view.servers:
+            try:
+                value, _ = yield from self._call(addr, "get_membership", {})
+            except FSError:
+                continue
+            view = MembershipView.from_wire(value["view"])
+            if view.epoch > self._view.epoch:
+                self._view = view
+                self.counters.inc("epoch_refreshes")
+            return
+        # Every server of the stale view unreachable: keep the view; the
+        # retry loop will surface the original error if it persists.
+
     def _with_revalidation(self, attempt, path: str, retries: int = 2) -> Generator:
-        """Run *attempt*; on EINVALIDPATH invalidate the cache and retry."""
-        for i in range(retries + 1):
+        """Run *attempt*; retry after repairing recoverable staleness.
+
+        Two independent budgets: EINVALIDPATH (stale path cache →
+        invalidate and re-resolve) and EWRONGEPOCH (stale membership view
+        → refresh and re-route).  A migration can move an op's target
+        more than once, so epoch retries get one extra attempt.
+        """
+        invalid_left = retries
+        epoch_left = retries + 1
+        while True:
             try:
                 return (yield from attempt())
             except FSError as exc:
-                if exc.code == EINVALIDPATH and i < retries:
+                if exc.code == EINVALIDPATH and invalid_left > 0:
+                    invalid_left -= 1
                     self.counters.inc("cache_invalidations")
                     self.invalidate_path(path)
                     continue
+                if exc.code == EWRONGEPOCH and epoch_left > 0:
+                    epoch_left -= 1
+                    self.counters.inc("wrong_epoch_retries")
+                    yield from self._refresh_view()
+                    continue
                 raise
-        raise AssertionError("unreachable")  # pragma: no cover

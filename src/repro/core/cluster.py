@@ -16,7 +16,7 @@ server crash + WAL recovery.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..net import (
     FaultModel,
@@ -32,6 +32,7 @@ from ..switchfab import ProgrammableSwitch, StaleSetConfig, SwitchControlPlane
 from .client import LibFS
 from .clustermap import ClusterMap
 from .config import FSConfig
+from .membership import plan_scale_down, plan_scale_up
 from .server import MetadataServer
 from .staleset_backend import StaleSetServer
 
@@ -66,7 +67,10 @@ class SwitchFSCluster:
                 ),
                 latency_us=config.perf.switch_latency_us,
             )
-            switch.install_fingerprint_owner(self.cmap.dir_owner_by_fp)
+            # Bound to the bootstrap *view*, not the live map: routes are
+            # an epoch snapshot the control plane reprograms explicitly at
+            # each epoch bump (apply_epoch), mirroring real switch state.
+            switch.install_fingerprint_owner(self.cmap.view.dir_owner_by_fp)
             return switch
 
         self.spines: List[ProgrammableSwitch] = []
@@ -111,6 +115,10 @@ class SwitchFSCluster:
         ]
         for server in self.servers:
             server.install_root()
+        # Servers retired by scale-down: no longer in the view, kept alive
+        # so in-flight traffic and view-refresh RPCs still get answers.
+        self.retired: List[MetadataServer] = []
+        self._server_seq = config.num_servers
 
         self.staleset_server: Optional[StaleSetServer] = None
         if config.stale_backend == "server":
@@ -139,6 +147,9 @@ class SwitchFSCluster:
         for server in self.servers:
             if server.addr == addr:
                 return server
+        for server in self.retired:
+            if server.addr == addr:
+                return server
         raise KeyError(addr)
 
     # ------------------------------------------------------------------
@@ -160,11 +171,189 @@ class SwitchFSCluster:
         """
         for _ in range(200):
             self.sim.run(until=self.sim.now + quiet_us)
-            if all(s.pending_changelog_entries() == 0 for s in self.servers):
+            if all(
+                s.pending_changelog_entries() == 0
+                for s in self.servers + self.retired
+            ):
                 # One more slice so in-flight acks land.
                 self.sim.run(until=self.sim.now + quiet_us)
                 return
         raise RuntimeError("cluster did not settle: change-log entries stuck")
+
+    # ------------------------------------------------------------------
+    # elasticity: epoch-versioned membership + live shard migration
+    # ------------------------------------------------------------------
+    def add_server(self, addr: Optional[str] = None) -> MetadataServer:
+        """Boot a new, empty metadata server (owns nothing until a
+        migration assigns it shards)."""
+        if addr is None:
+            addr = f"server-{self._server_seq}"
+        self._server_seq += 1
+        server = MetadataServer(self.sim, self.net, addr, self.config, self.cmap)
+        # A joiner missed every invalidation broadcast so far; clone the
+        # list from a member (same mechanism crash recovery uses).
+        if self.servers:
+            server.inval.restore(self.servers[0].inval.snapshot())
+        self.servers.append(server)
+        return server
+
+    def scale_up_gen(self) -> Generator:
+        """Join one server and migrate its shard quota to it, live."""
+        joiner = self.add_server()
+        servers, shard_table, moved = plan_scale_up(self.cmap.view, joiner.addr)
+        stats = yield from self._migrate_gen(servers, shard_table, moved)
+        stats["joined"] = joiner.addr
+        return stats
+
+    def scale_down_gen(self, addr: str) -> Generator:
+        """Migrate every shard off *addr*, then retire it from the view.
+
+        The retired server stays network-reachable: clients with a stale
+        view still reach it for redirects and membership refreshes, and
+        any change-log entries that slip in during the hand-off drain out
+        through the ordinary push path.
+        """
+        leaver = self.server_by_addr(addr)
+        servers, shard_table, moved = plan_scale_down(self.cmap.view, addr)
+        stats = yield from self._migrate_gen(
+            servers, shard_table, moved, leaving=leaver
+        )
+        stats["left"] = addr
+        return stats
+
+    def scale_up(self) -> Dict[str, Any]:
+        return self.run_op(self.scale_up_gen())
+
+    def scale_down(self, addr: str) -> Dict[str, Any]:
+        return self.run_op(self.scale_down_gen(addr))
+
+    def _migrate_gen(
+        self,
+        servers: Tuple[str, ...],
+        shard_table: Tuple[str, ...],
+        moved: Tuple[int, ...],
+        leaving: Optional[MetadataServer] = None,
+    ) -> Generator:
+        """Two-phase live migration to the (*servers*, *shard_table*) view.
+
+        Phase A (online) drains the moving fingerprint groups through the
+        normal aggregation path while traffic keeps flowing.  Phase B (the
+        measured stall) gates the source servers, quiesces in-flight
+        mutators, ships each shard package, bumps the membership epoch,
+        reprograms the switch routes, and reclaims provably-settled
+        stale-set bits — in that order, so a client can never reach the
+        new owner before its state is installed, nor keep mutating the old
+        one after its state left.
+        """
+        old_view = self.cmap.view
+        num_shards = old_view.num_shards
+        moving = set(moved)
+        moves: Dict[Tuple[str, str], List[int]] = {}
+        for shard in moved:
+            pair = (old_view.shard_table[shard], shard_table[shard])
+            moves.setdefault(pair, []).append(shard)
+        stats: Dict[str, Any] = {
+            "shards_moved": len(moved),
+            "migrated_keys": 0,
+            "staged_entries": 0,
+            "stale_bits_cleared": 0,
+        }
+
+        # --- Phase A: online drain of the moving groups -----------------
+        drain_start = self.sim.now
+        drain_fps = set()
+        for server in self.servers:
+            for fp in server.changelogs.non_empty_groups():
+                if fp % num_shards in moving:
+                    drain_fps.add(fp)
+        drains = [
+            self.sim.spawn(
+                self.server_by_addr(
+                    old_view.dir_owner_by_fp(fp)
+                ).drain_group_for_migration(fp),
+                name="migrate-drain",
+            )
+            for fp in sorted(drain_fps)
+        ]
+        if drains:
+            yield AllOf(self.sim, drains)
+        stats["drain_us"] = self.sim.now - drain_start
+
+        # --- Phase B: gated cutover -------------------------------------
+        stall_start = self.sim.now
+        sources: List[MetadataServer] = []
+        for src, _tgt in moves:
+            server = self.server_by_addr(src)
+            if server not in sources:
+                sources.append(server)
+        if leaving is not None and leaving not in sources:
+            sources.append(leaving)
+        for server in sources:
+            server.begin_recovery()
+        quiescers = [
+            self.sim.spawn(s.quiesce_for_migration(), name="migrate-quiesce")
+            for s in sources
+        ]
+        if quiescers:
+            yield AllOf(self.sim, quiescers)
+        if leaving is not None:
+            # Ship the leaver's foreign-group backlog while nothing new
+            # can arrive; its own groups self-apply into the KV state the
+            # collect below will package.
+            yield from leaving.flush_all_changelogs()
+        migrated_fps: set = set()
+        packages: List[Tuple[MetadataServer, Dict[str, Any]]] = []
+        for (src, tgt), shard_list in moves.items():
+            source = self.server_by_addr(src)
+            package = yield from source.collect_shards(set(shard_list))
+            migrated_fps.update(package["fingerprints"])
+            value = yield from source.ship_package(tgt, package)
+            stats["migrated_keys"] += value["installed"]
+            stats["staged_entries"] += value["staged"]
+            packages.append((source, package))
+        new_view = self.cmap.membership.advance(
+            servers=servers, shard_table=shard_table
+        )
+        if self.control is not None:
+            self.control.apply_epoch(new_view)
+            for spine in self.spines[1:]:
+                spine.install_fingerprint_owner(new_view.dir_owner_by_fp)
+            if len(self.spines) <= 1:
+                # Reclaim stale-set bits for groups that are provably
+                # settled: zero staged entries anywhere and zero drained
+                # entries still in flight, checked atomically while the
+                # sources are quiesced.  Anything else clears lazily via
+                # the normal aggregation REMOVE.
+                safe = [
+                    fp
+                    for fp in sorted(migrated_fps)
+                    if self._pending_for_fp(fp) == 0
+                ]
+                stats["stale_bits_cleared"] = self.control.reconcile_stale_set(safe)
+        for source, package in packages:
+            yield from source.discard_shards(package)
+        for server in sources:
+            server.end_recovery()
+        stats["stall_us"] = self.sim.now - stall_start
+        if leaving is not None:
+            self.servers.remove(leaving)
+            self.retired.append(leaving)
+            # Pushes that sat queued at the gate during the stall resumed
+            # just now; flush once more so the leaver retires empty (the
+            # idle sweeper keeps it that way afterwards).
+            yield from leaving.flush_all_changelogs()
+        stats["epoch"] = new_view.epoch
+        return stats
+
+    def _pending_for_fp(self, fp: int) -> int:
+        """Cluster-wide pending-entry count for one fingerprint group,
+        including entries drained for a push that has not landed yet."""
+        total = 0
+        for server in self.servers + self.retired:
+            total += server.pushes_in_flight(fp)
+            for log in server.changelogs.logs_in_group(fp):
+                total += len(log)
+        return total
 
     # ------------------------------------------------------------------
     # fault drills (§4.4, §6.7)
@@ -180,16 +369,17 @@ class SwitchFSCluster:
         start = self.sim.now
         for switch in self.spines or [self.switch]:
             switch.reset()
-        for server in self.servers:
+        members = self.servers + self.retired
+        for server in members:
             server.begin_recovery()
 
         def drive():
             flushes = [
                 self.sim.spawn(server.flush_all_changelogs(), name="flush")
-                for server in self.servers
+                for server in members
             ]
             yield AllOf(self.sim, flushes)
-            for server in self.servers:
+            for server in members:
                 server.end_recovery()
 
         proc = self.sim.spawn(drive(), name="switch-recovery")
@@ -203,8 +393,9 @@ class SwitchFSCluster:
     def recover_server(self, idx: int) -> float:
         """WAL-replay recovery of server *idx*; returns simulated duration."""
         server = self.servers[idx]
-        peer = next(a for a in self.cmap.server_addrs if a != server.addr) \
-            if self.config.num_servers > 1 else None
+        peer = next(
+            (a for a in self.cmap.server_addrs if a != server.addr), None
+        )
         start = self.sim.now
         proc = self.sim.spawn(server.recover(peer=peer), name="server-recovery")
         self.sim.run_process(proc)
@@ -214,7 +405,9 @@ class SwitchFSCluster:
     # introspection
     # ------------------------------------------------------------------
     def total_pending_entries(self) -> int:
-        return sum(s.pending_changelog_entries() for s in self.servers)
+        return sum(
+            s.pending_changelog_entries() for s in self.servers + self.retired
+        )
 
     def switch_stats(self):
         if self.control is None:

@@ -3,57 +3,75 @@
 Both clients (LibFS) and servers consult the same :class:`ClusterMap` to
 route metadata operations:
 
-* file inodes partition by hashing ``(pid, name)`` — per-file granularity
-  (§3.3);
+* file inodes partition by hashing ``(pid, name)`` into the fixed shard
+  space — per-file granularity (§3.3);
 * directory inodes partition by fingerprint, which guarantees that all
   directories in a fingerprint group share one owner server (§4.1);
-* the rename coordinator is a fixed, well-known server (§4.2).
+* the rename coordinator is the first live member of the view (§4.2).
+
+Since the membership refactor this class is a thin facade over
+:class:`~repro.core.membership.Membership`: routing always reflects the
+*current* epoch's view.  Code that must route consistently across a
+multi-step operation (a client op, a rename transaction) should snapshot
+``cmap.view`` once and use the snapshot throughout.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from .config import FSConfig
-from .schema import fingerprint_of, owner_of_dir, owner_of_file
+from .membership import Membership, MembershipView, bootstrap_view
 
 __all__ = ["ClusterMap"]
 
 
 class ClusterMap:
-    """Routing functions derived from the cluster configuration."""
+    """Routing facade over the cluster's epoch-versioned membership."""
 
-    def __init__(self, config: FSConfig):
+    def __init__(self, config: FSConfig, membership: Optional[Membership] = None):
         self.config = config
+        self.membership = (
+            membership if membership is not None else Membership(bootstrap_view(config))
+        )
+
+    @property
+    def view(self) -> MembershipView:
+        """The current epoch's immutable routing snapshot."""
+        return self.membership.current
+
+    @property
+    def epoch(self) -> int:
+        return self.membership.current.epoch
 
     @property
     def num_servers(self) -> int:
-        return self.config.num_servers
+        return len(self.membership.current.servers)
 
     @property
     def server_addrs(self) -> List[str]:
-        return self.config.server_addrs
+        return list(self.membership.current.servers)
 
     def file_owner(self, pid: int, name: str) -> str:
         """Owner server address for file ``name`` under directory *pid*."""
-        return self.config.server_addr(
-            owner_of_file(pid, name, self.config.num_servers)
-        )
+        return self.membership.current.file_owner(pid, name)
 
     def dir_owner_by_fp(self, fingerprint: int) -> str:
         """Owner server address for a directory fingerprint group."""
-        return self.config.server_addr(
-            owner_of_dir(fingerprint, self.config.num_servers)
-        )
+        return self.membership.current.dir_owner_by_fp(fingerprint)
 
     def dir_owner(self, pid: int, name: str) -> str:
-        return self.dir_owner_by_fp(fingerprint_of(pid, name))
+        return self.membership.current.dir_owner(pid, name)
 
-    def others(self, addr: str) -> List[str]:
-        """All server addresses except *addr* (multicast targets)."""
-        return [a for a in self.server_addrs if a != addr]
+    def others(self, addr: str):
+        """All server addresses except *addr* (multicast targets).
+
+        Delegates to the view's per-epoch cache — no per-call rebuild,
+        and membership changes invalidate it by construction.
+        """
+        return self.membership.current.others(addr)
 
     @property
     def rename_coordinator(self) -> str:
         """The centralised rename coordinator (avoids orphaned loops, §4.2)."""
-        return self.config.server_addr(0)
+        return self.membership.current.rename_coordinator

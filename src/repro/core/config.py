@@ -72,6 +72,11 @@ class FSConfig:
     num_clients: int = 1
     seed: int = 42
 
+    # Fixed shard space for epoch-versioned membership: fingerprints and
+    # files hash into num_servers * shards_per_server shards; migration
+    # reassigns shards to servers without rehashing keys.
+    shards_per_server: int = 8
+
     # Topology (§5.4): "single-rack" puts the programmable stale set on
     # the ToR switch; "leaf-spine" deploys num_racks racks with
     # num_spine_switches programmable spines, directories range-
@@ -125,6 +130,8 @@ class FSConfig:
             raise ValueError("recast requires async_updates")
         if self.proactive_push_entries < 1:
             raise ValueError("proactive_push_entries must be >= 1")
+        if self.shards_per_server < 1:
+            raise ValueError("shards_per_server must be >= 1")
 
     def server_addr(self, idx: int) -> str:
         if not 0 <= idx < self.num_servers:
@@ -137,6 +144,11 @@ class FSConfig:
     @property
     def server_addrs(self):
         return [self.server_addr(i) for i in range(self.num_servers)]
+
+    @property
+    def num_shards(self) -> int:
+        """Size of the fixed shard space (constant for a run's lifetime)."""
+        return self.num_servers * self.shards_per_server
 
     @property
     def staleset_server_addr(self) -> str:

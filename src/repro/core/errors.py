@@ -21,6 +21,7 @@ __all__ = [
     "ENOTDIR",
     "EINVAL",
     "EINVALIDPATH",
+    "EWRONGEPOCH",
     "fs_error",
 ]
 
@@ -30,8 +31,12 @@ ENOTEMPTY = "ENOTEMPTY"
 ENOTDIR = "ENOTDIR"
 EINVAL = "EINVAL"
 EINVALIDPATH = "EINVALIDPATH"
+# SwitchFS-internal like EINVALIDPATH: the server no longer (or does not
+# yet) own the shard the request routed to — the client's membership view
+# is stale; refresh the view and retry against the new owner.
+EWRONGEPOCH = "EWRONGEPOCH"
 
-_KNOWN = {EEXIST, ENOENT, ENOTEMPTY, ENOTDIR, EINVAL, EINVALIDPATH}
+_KNOWN = {EEXIST, ENOENT, ENOTEMPTY, ENOTDIR, EINVAL, EINVALIDPATH, EWRONGEPOCH}
 
 
 class FSError(RpcError):

@@ -40,6 +40,7 @@ __all__ = [
     "fingerprint_of",
     "owner_of_file",
     "owner_of_dir",
+    "file_shard_of",
     "root_inode",
 ]
 
@@ -87,6 +88,19 @@ def fingerprint_of(pid: int, name: str) -> int:
 def owner_of_file(pid: int, name: str, num_servers: int) -> int:
     """Per-file hash partitioning: the server index owning a file inode."""
     return _h256("file-owner", pid, name) % num_servers
+
+
+@lru_cache(maxsize=1 << 16)
+def file_shard_of(pid: int, name: str, num_shards: int) -> int:
+    """Per-file hash partitioning into the fixed shard space.
+
+    Uses the same hash salt as :func:`owner_of_file`, so with the
+    bootstrap shard table (shard ``s`` → server ``s % num_servers``)
+    routing is bit-identical to the historical direct mapping.  Safe to
+    memoise across epochs: ``num_shards`` is fixed for a run — only the
+    shard → server table changes, and that lives in the membership view.
+    """
+    return _h256("file-owner", pid, name) % num_shards
 
 
 def owner_of_dir(fingerprint: int, num_servers: int) -> int:

@@ -42,6 +42,7 @@ The implementation is layered — each layer is one module:
 :mod:`.changelog_engine`  change-log push, recast, idle sweep, flush
 :mod:`.renamepart`        rename 2PC participant (§4.2)
 :mod:`.recovery`          crash / checkpoint / WAL recovery (§4.4)
+:mod:`.migration`         live shard migration (elastic scale-out/in)
 ========================  =============================================
 
 :class:`MetadataServer` composes them; the public API is unchanged from
@@ -62,6 +63,7 @@ from ..schema import root_inode
 from ..staleset_backend import ServerBackendClient
 from .aggregation import AggregationProtocol
 from .changelog_engine import ChangeLogEngine
+from .migration import ShardMigration
 from .ops import ServerOps
 from .reads import ReadOps
 from .recovery import CrashRecovery
@@ -78,6 +80,7 @@ class MetadataServer(
     ChangeLogEngine,
     RenameParticipant,
     CrashRecovery,
+    ShardMigration,
     ServerRuntime,
 ):
     """One SwitchFS metadata server."""
@@ -106,6 +109,10 @@ class MetadataServer(
         self._pull_locks: Dict[int, List[RWLock]] = {}
         self._pull_waiters: Dict[int, Event] = {}
         self._last_push_at: Dict[int, float] = {}
+        # fp -> count of pushes drained from the local table but not yet
+        # landed at (or restored from) their destination; consulted by the
+        # migration driver before clearing stale-set bits.
+        self._push_inflight: Dict[int, int] = {}
 
         self.ss = (
             ServerBackendClient(self.node, config)
@@ -142,6 +149,8 @@ class MetadataServer(
                 "rename_abort": self._handle_rename_abort,
                 "clone_invalidation": self._handle_clone_invalidation,
                 "flush_apply": self._handle_flush_apply,
+                "get_membership": self._handle_get_membership,
+                "migrate_install": self._handle_migrate_install,
             }
         )
         self.node.add_raw_tap(self._tap)

@@ -42,6 +42,15 @@ class AggregationProtocol:
     def _aggregate_group(self, fp: int) -> Generator:
         """Aggregate every change-log in the fingerprint group onto the
         directories this server owns."""
+        yield from self._wait_recovered()
+        if self.cmap.dir_owner_by_fp(fp) != self.addr:
+            # Ownership moved underneath a queued aggregation (migration
+            # bumped the epoch while we waited): the new owner drives
+            # aggregation for this group now, and any entries still staged
+            # here leave via the push path — aggregating would pull the
+            # cluster's logs onto a server that no longer holds the inodes
+            # and silently drop them.
+            return
         if fp in self._group_blocks:
             # Someone else is already aggregating: piggyback on them.
             yield from self._wait_group_unblocked(fp)
@@ -244,6 +253,11 @@ class AggregationProtocol:
     def _handle_aggregate_now(self, request: RpcRequest, packet: Packet) -> Generator:
         """Force-aggregate a fingerprint group (rename preparation)."""
         fp = request.args["fp"]
+        yield from self._wait_recovered()
+        # A stale-view caller asking a non-owner to aggregate must be
+        # redirected: _aggregate_group would no-op and the caller would
+        # proceed believing the group was consolidated.
+        self._check_owner_dir(fp)
         yield from self._wait_group_unblocked(fp)
         yield from self._aggregate_group(fp)
         return {"status": "ok"}

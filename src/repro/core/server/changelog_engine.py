@@ -63,36 +63,66 @@ class ChangeLogEngine:
         lock.release_write()
         if not entries:
             return
+        # While drained-but-not-landed, the entries are in no server's
+        # change-log table; the in-flight counter keeps the migration
+        # driver's stale-set reconciliation from treating the group as
+        # fully settled during that window.
+        self._push_inflight_inc(log.fingerprint)
         try:
-            yield from self._call(
-                owner,
-                "changelog_push",
-                {
-                    "dir_id": log.dir_id,
-                    "fp": log.fingerprint,
-                    "entries": entries,
-                    "from": self.addr,
-                },
-            )
-        except RpcError:
-            # Push failed (owner slow/dead): restore entries for a later push
-            # or pull; order within one log does not matter (commutative).
-            self.changelogs.extend(log.dir_id, log.fingerprint, entries, lsns, self.sim.now)
-            return
-        self.counters.inc("proactive_pushes")
-        self.wal.mark_applied_many(lsns)
+            try:
+                yield from self._call(
+                    owner,
+                    "changelog_push",
+                    {
+                        "dir_id": log.dir_id,
+                        "fp": log.fingerprint,
+                        "entries": entries,
+                        "from": self.addr,
+                    },
+                )
+            except RpcError:
+                # Push failed (owner slow/dead): restore entries for a later
+                # push or pull; order within one log does not matter
+                # (commutative).
+                self.changelogs.extend(
+                    log.dir_id, log.fingerprint, entries, lsns, self.sim.now
+                )
+                return
+            self.counters.inc("proactive_pushes")
+            self.wal.mark_applied_many(lsns)
+        finally:
+            self._push_inflight_dec(log.fingerprint)
+
+    def _push_inflight_inc(self, fp: int) -> None:
+        self._push_inflight[fp] = self._push_inflight.get(fp, 0) + 1
+
+    def _push_inflight_dec(self, fp: int) -> None:
+        remaining = self._push_inflight.get(fp, 0) - 1
+        if remaining > 0:
+            self._push_inflight[fp] = remaining
+        else:
+            self._push_inflight.pop(fp, None)
 
     def _handle_changelog_push(self, request: RpcRequest, packet: Packet) -> Generator:
         """Receive a pushed change-log; stage it locally and schedule a
         grace-period aggregation."""
         args = request.args
         dir_id, fp = args["dir_id"], args["fp"]
+        yield from self._wait_recovered()
         yield from self._cpu(self.perf.wal_append_us)
         entries = args["entries"]
         lsns = self.wal.append_many(
             "changelog", [(dir_id, fp, entry) for entry in entries]
         )
-        self.changelogs.extend(dir_id, fp, entries, lsns, self.sim.now)
+        # Appender discipline (same as create/delete/mkdir): hold the
+        # directory's change-log lock in read mode across the extend so a
+        # concurrent drain (write-holder) is excluded.
+        cl_lock = self._changelog_lock(dir_id)
+        yield from self._acquire(cl_lock, "r")
+        try:
+            self.changelogs.extend(dir_id, fp, entries, lsns, self.sim.now)
+        finally:
+            cl_lock.release_read()
         self._note_push(fp)
         return {"status": "ok"}
 
@@ -258,7 +288,7 @@ class ChangeLogEngine:
         """Send every pending change-log to its directory's owner (switch
         failure recovery, §4.4.2).  Returns when all are applied."""
         drained = self.changelogs.drain_all()
-        by_owner: Dict[str, List[Tuple[int, List[ChangeLogEntry]]]] = {}
+        by_owner: Dict[str, List[Tuple[int, int, List[ChangeLogEntry]]]] = {}
         lsns_all: List[int] = []
         local: List[Tuple[int, List[ChangeLogEntry], Optional[List[int]]]] = []
         for dir_id, fp, entries, lsns in drained:
@@ -266,23 +296,60 @@ class ChangeLogEngine:
             if owner == self.addr:
                 local.append((dir_id, entries, lsns))
             else:
-                by_owner.setdefault(owner, []).append((dir_id, entries))
+                by_owner.setdefault(owner, []).append((dir_id, fp, entries))
                 lsns_all.extend(lsns)
         if local:
             yield from self._apply_logs(local)
             for _d, _e, lsns in local:
                 self.wal.mark_applied_many(lsns or [])
-        for owner, logs in by_owner.items():
-            yield from self._call(owner, "flush_apply", {"logs": logs})
+        remote_fps = [fp for logs in by_owner.values() for _d, fp, _e in logs]
+        for fp in remote_fps:
+            self._push_inflight_inc(fp)
+        try:
+            for owner, logs in by_owner.items():
+                yield from self._call(owner, "flush_apply", {"logs": logs})
+        finally:
+            for fp in remote_fps:
+                self._push_inflight_dec(fp)
         self.wal.mark_applied_many(lsns_all)
         return len(drained)
 
     def _handle_flush_apply(self, request: RpcRequest, packet: Packet) -> Generator:
         """Switch-failure recovery: another server flushes its change-logs
-        for directories we own; apply them immediately."""
+        for directories we own; apply them immediately.
+
+        A flush routed with a stale membership view may carry groups this
+        server no longer (or does not yet) own — those are re-staged and
+        pushed to the live owner rather than silently dropped (the
+        ``_apply_recast`` fast path returns early on unknown dir ids)."""
         args = request.args
         yield from self._cpu(self.perf.wal_append_us)
-        pulled = [(dir_id, entries, None) for dir_id, entries in args["logs"]]
-        self.wal.append("agg", [(d, e) for d, e, _ in pulled])
-        yield from self._apply_logs(pulled)
+        pulled = []
+        for dir_id, fp, entries in args["logs"]:
+            if self.cmap.dir_owner_by_fp(fp) == self.addr:
+                pulled.append((dir_id, entries, None))
+                continue
+            lsns = self.wal.append_many("changelog", [(dir_id, fp, e) for e in entries])
+            cl_lock = self._changelog_lock(dir_id)
+            yield from self._acquire(cl_lock, "r")
+            try:
+                self.changelogs.extend(dir_id, fp, entries, lsns, self.sim.now)
+            finally:
+                cl_lock.release_read()
+            for log in self.changelogs.logs_in_group(fp):
+                if log.dir_id == dir_id:
+                    self.sim.spawn(self._push_log(log), name="flush-restage")
+        if pulled:
+            # Write-hold each directory's change-log lock across the apply
+            # (the same discipline the aggregation drain uses): appenders
+            # are excluded while the pulled entries land.
+            locks = [self._changelog_lock(dir_id) for dir_id, _e, _l in pulled]
+            for lock in locks:
+                yield from self._acquire(lock, "w")
+            try:
+                self.wal.append("agg", [(d, e) for d, e, _ in pulled])
+                yield from self._apply_logs(pulled)
+            finally:
+                for lock in locks:
+                    lock.release_write()
         return {"status": "ok"}

@@ -59,13 +59,17 @@ class ServerOps:
         yield from self._wait_recovered()
         yield from self._cpu(self.perf.path_check_us)
         self._check_valid(args)
+        self._check_owner_file(pid, name)
 
         cl_lock = self._changelog_lock(pid)
         key = file_meta_key(pid, name)
         klock = self._inode_lock(key)
+        deferred_unlock = False
+        # Counted before the lock waits: an op parked on a lock is still
+        # an in-flight mutator the migration quiesce must wait out.
+        self._mutator_begin()
         yield from self._acquire(cl_lock, "r")
         yield from self._acquire(klock, "w")
-        deferred_unlock = False
         try:
             yield from self._cpu(self.perf.kv_get_us)
             exists = key in self.kv
@@ -102,6 +106,7 @@ class ServerOps:
             yield from self._apply_parent_sync(pid, parent_fp, entry)
             return {"status": "ok"}
         finally:
+            self._mutator_end()
             if not deferred_unlock:
                 klock.release_write()
                 cl_lock.release_read()
@@ -114,13 +119,15 @@ class ServerOps:
         yield from self._wait_recovered()
         yield from self._cpu(self.perf.path_check_us)
         self._check_valid(args)
+        self._check_owner_dir(fingerprint_of(pid, name))
 
         cl_lock = self._changelog_lock(pid)
         key = dir_meta_key(pid, name)
         klock = self._inode_lock(key)
+        deferred_unlock = False
+        self._mutator_begin()
         yield from self._acquire(cl_lock, "r")
         yield from self._acquire(klock, "w")
-        deferred_unlock = False
         try:
             yield from self._cpu(self.perf.kv_get_us)
             if key in self.kv:
@@ -157,6 +164,7 @@ class ServerOps:
             yield from self._apply_parent_sync(pid, parent_fp, entry)
             return {"status": "ok", "id": inode.id, "fingerprint": inode.fingerprint}
         finally:
+            self._mutator_end()
             if not deferred_unlock:
                 klock.release_write()
                 cl_lock.release_read()
@@ -171,14 +179,16 @@ class ServerOps:
         yield from self._wait_recovered()
         yield from self._cpu(self.perf.path_check_us)
         self._check_valid(args)
+        self._check_owner_dir(fp)
 
         cl_lock = self._changelog_lock(pid)
         key = dir_meta_key(pid, name)
         klock = self._inode_lock(key)
-        yield from self._acquire(cl_lock, "r")
-        yield from self._acquire(klock, "w")
         deferred_unlock = False
         invalidated = False
+        self._mutator_begin()
+        yield from self._acquire(cl_lock, "r")
+        yield from self._acquire(klock, "w")
         try:
             yield from self._cpu(self.perf.kv_get_us)
             inode = self.kv.get_or_none(key)
@@ -242,6 +252,7 @@ class ServerOps:
             yield from self._apply_parent_sync(pid, parent_fp, entry)
             return {"status": "ok"}
         finally:
+            self._mutator_end()
             if not deferred_unlock:
                 klock.release_write()
                 cl_lock.release_read()
@@ -362,8 +373,13 @@ class ServerOps:
 
     def _handle_apply_parent_update(self, request: RpcRequest, packet: Packet) -> Generator:
         args = request.args
+        yield from self._wait_recovered()
         yield from self._cpu(self.perf.txn_phase_us)
-        yield from self._apply_entry_with_inode_txn(args["parent_id"], args["entry"])
+        self._mutator_begin()
+        try:
+            yield from self._apply_entry_with_inode_txn(args["parent_id"], args["entry"])
+        finally:
+            self._mutator_end()
         return {"status": "ok"}
 
     # ------------------------------------------------------------------
@@ -393,7 +409,25 @@ class ServerOps:
 
     def _sync_fallback(self, response: RpcResponse, packet: Packet) -> Generator:
         value = response.value
-        yield from self._apply_entry_with_inode_txn(value["parent_id"], value["entry"])
+        yield from self._wait_recovered()
+        owner = self.cmap.dir_owner_by_fp(value["parent_fp"])
+        if owner != self.addr:
+            # The switch redirected with routes from a previous epoch and
+            # the group has since migrated: hand the update to the live
+            # owner instead of writing into a moved shard.
+            yield from self._call(
+                owner,
+                "apply_parent_update",
+                {"parent_id": value["parent_id"], "entry": value["entry"]},
+            )
+        else:
+            self._mutator_begin()
+            try:
+                yield from self._apply_entry_with_inode_txn(
+                    value["parent_id"], value["entry"]
+                )
+            finally:
+                self._mutator_end()
         # Forward the (now fulfilled) response to the client.
         self.node.net.send(
             Packet(

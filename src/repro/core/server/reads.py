@@ -15,7 +15,7 @@ from typing import Generator
 
 from ...net import Packet, RpcRequest
 from ..errors import ENOENT, FSError
-from ..schema import dir_meta_key, file_meta_key
+from ..schema import dir_meta_key, file_meta_key, fingerprint_of
 
 __all__ = ["ReadOps"]
 
@@ -74,6 +74,7 @@ class ReadOps:
         yield from self._wait_recovered()
         yield from self._cpu(self.perf.path_check_us)
         self._check_valid(args)
+        self._check_owner_dir(fp)
 
         # Directory state comes from the switch (RET bit on the request) or
         # from an explicit stale-set-server query.
@@ -123,6 +124,7 @@ class ReadOps:
         yield from self._wait_recovered()
         yield from self._cpu(self.perf.path_check_us)
         self._check_valid(args)
+        self._check_owner_file(pid, name)
         key = file_meta_key(pid, name)
         lock = self._inode_lock(key)
         yield from self._acquire(lock, "r")
@@ -146,11 +148,23 @@ class ReadOps:
         args = request.args
         pid, name = args["pid"], args["name"]
         yield from self._wait_recovered()
+        self._check_owner_dir(fingerprint_of(pid, name))
         yield from self._cpu(self.perf.kv_get_us)
         inode = self.kv.get_or_none(dir_meta_key(pid, name))
         if inode is None:
             raise FSError(ENOENT, f"{pid}/{name}")
         return {"id": inode.id, "fingerprint": inode.fingerprint, "perm": inode.perm}
+
+    def _handle_get_membership(self, request: RpcRequest, packet: Packet) -> Generator:
+        """Serve the current membership view (epoch refresh protocol).
+
+        Deliberately *not* gated on the recovery event: clients chasing a
+        ``WrongEpoch`` redirect must be able to learn the new view even
+        while the cluster is mid-migration, and retired servers keep
+        answering so stale views always have a reachable refresh source.
+        """
+        yield from self._cpu(self.perf.kv_get_us)
+        return {"view": self.cmap.view.to_wire()}
 
     def _handle_read_inode(self, request: RpcRequest, packet: Packet) -> Generator:
         """Raw inode read used by the rename coordinator."""

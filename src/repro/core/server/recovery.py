@@ -73,6 +73,9 @@ class CrashRecovery:
         self._group_blocks.clear()
         self._pending_unlocks.clear()
         self._pull_locks.clear()
+        self._inflight_mutators = 0
+        self._rename_locks.clear()
+        self._push_inflight.clear()
         # Wake anyone parked on a pull lock: the locks just vanished, and
         # a waiter left pending would re-check `fp in _pull_locks` only
         # when its event fires — which, without this, is never (found by

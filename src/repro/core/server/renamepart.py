@@ -13,6 +13,8 @@ from typing import Any, Dict, Generator
 from ...net import Packet, RpcRequest
 from ...sim import AllOf
 from ..changelog import ChangeLogEntry, ChangeOp
+from ..errors import EWRONGEPOCH, FSError
+from ..schema import fingerprint_of
 
 __all__ = ["RenameParticipant"]
 
@@ -23,6 +25,13 @@ class RenameParticipant:
     def _handle_rename(self, request: RpcRequest, packet: Packet) -> Generator:
         from ..rename import run_rename  # local import: avoids module cycle
 
+        if request.args.get("is_dir"):
+            # Directory renames must serialise through the one live
+            # coordinator; a client whose view predates a coordinator
+            # hand-off (server 0 left) is redirected.
+            coordinator = self.cmap.rename_coordinator
+            if coordinator != self.addr:
+                raise FSError(EWRONGEPOCH, f"rename coordinator is {coordinator}")
         return (yield from run_rename(self, request.args))
 
     def _handle_rename_lock(self, request: RpcRequest, packet: Packet) -> Generator:
@@ -35,12 +44,19 @@ class RenameParticipant:
         extra round trips a separate prepare/check phase would cost.
         """
         args = request.args
+        yield from self._wait_recovered()
         yield from self._cpu(self.perf.txn_phase_us)
         key = tuple(args["key"])
+        # Ownership check before taking the lock: a coordinator routing
+        # with a stale view aborts cleanly (no lock registered here) and
+        # the client retries against the new owner after a view refresh.
+        if key[0] == "D":
+            self._check_owner_dir(fingerprint_of(key[1], key[2]))
+        elif key[0] == "F":
+            self._check_owner_file(key[1], key[2])
         lock = self._inode_lock(key)
         yield from self._acquire(lock, "w")
         txn_id = args["txn_id"]
-        self._rename_locks = getattr(self, "_rename_locks", {})
         self._rename_locks.setdefault(txn_id, []).append(lock)
         result: Dict[str, Any] = {"vote": True}
         if "expect" in args:
@@ -140,6 +156,6 @@ class RenameParticipant:
         return {"status": "ok"}
 
     def _release_rename_locks(self, txn_id: int) -> None:
-        locks = getattr(self, "_rename_locks", {}).pop(txn_id, [])
+        locks = self._rename_locks.pop(txn_id, [])
         for lock in locks:
             lock.release_write()

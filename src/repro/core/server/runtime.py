@@ -33,6 +33,7 @@ from ...net import RpcNode
 from ...net.topology import Network
 from ...sim import Counter, Event, Lock, PhaseStats, Resource, RWLock, Simulator
 from ..config import FSConfig
+from ..errors import EWRONGEPOCH, FSError
 from ..schema import dir_meta_key, root_inode
 
 __all__ = ["ServerRuntime"]
@@ -58,6 +59,11 @@ class ServerRuntime:
         self._dir_index: Dict[int, Tuple] = {}
         self._recovered_ev: Optional[Event] = None  # set while recovering
         self._rename_serial: Optional[Lock] = None  # lazy, coordinator only
+        # Double-inode mutators currently past the recovery gate: the
+        # migration driver waits for this to reach zero before it freezes
+        # a shard snapshot (quiesce), so no KV write straddles the move.
+        self._inflight_mutators = 0
+        self._rename_locks: Dict[int, List[RWLock]] = {}
 
     # ------------------------------------------------------------------
     # RPC plumbing
@@ -192,6 +198,27 @@ class ServerRuntime:
     @property
     def recovering(self) -> bool:
         return self._recovered_ev is not None
+
+    # ------------------------------------------------------------------
+    # epoch-aware routing checks (membership refactor)
+    # ------------------------------------------------------------------
+    def _mutator_begin(self) -> None:
+        self._inflight_mutators += 1
+
+    def _mutator_end(self) -> None:
+        self._inflight_mutators -= 1
+
+    def _check_owner_file(self, pid: int, name: str) -> None:
+        """Reject a file op routed here with a stale membership view."""
+        owner = self.cmap.file_owner(pid, name)
+        if owner != self.addr:
+            raise FSError(EWRONGEPOCH, f"file {pid}/{name} owned by {owner}")
+
+    def _check_owner_dir(self, fingerprint: int) -> None:
+        """Reject a directory op routed here with a stale membership view."""
+        owner = self.cmap.dir_owner_by_fp(fingerprint)
+        if owner != self.addr:
+            raise FSError(EWRONGEPOCH, f"group {fingerprint:#x} owned by {owner}")
 
     # ------------------------------------------------------------------
     # bootstrap

@@ -9,7 +9,7 @@ recovery drill of §6.7, and exports occupancy / traffic statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Iterable
 
 from .switch import ProgrammableSwitch
 
@@ -43,10 +43,47 @@ class SwitchControlPlane:
     def __init__(self, switch: ProgrammableSwitch):
         self.switch = switch
         self._failure_listeners = []
+        self.epoch = 0
+        self.epoch_installs = 0
+        self._ctl_remove_seq = 0
 
     def install_routes(self, fingerprint_owner: Callable[[int], str]) -> None:
         """Program the fingerprint → owner-server mapping (fallback path)."""
         self.switch.install_fingerprint_owner(fingerprint_owner)
+
+    def apply_epoch(self, view) -> None:
+        """Reprogram the data plane for a new membership epoch.
+
+        Installs the new view's fingerprint → owner routes (the overflow
+        rewriter must redirect to the *new* owner from the first packet of
+        the new epoch) and stamps the epoch.  Must run **before** the
+        migration sources unblock: stale-set bits are fingerprint-keyed
+        and ownership-agnostic, so the bits themselves need no rewrite —
+        the routes are the only switch state that encodes ownership.
+        """
+        self.switch.install_fingerprint_owner(view.dir_owner_by_fp)
+        self.epoch = view.epoch
+        self.epoch_installs += 1
+
+    def reconcile_stale_set(self, fingerprints: Iterable[int]) -> int:
+        """Control-plane removal of stale-set bits after a migration.
+
+        Only safe for fingerprints with **zero** pending change-log
+        entries cluster-wide at call time (the driver checks while the
+        sources are quiesced): a bit cleared while an entry is pending
+        would hide a completed update from readers.  Uses the per-source
+        SEQ filter with a dedicated control-plane source id, so a
+        retransmitted data-plane REMOVE can never be mistaken for (or
+        filtered against) these.
+        """
+        cleared = 0
+        for fp in fingerprints:
+            self._ctl_remove_seq += 1
+            if self.switch.stale_set_for(fp).remove(
+                fp, source="ctl-plane", seq=self._ctl_remove_seq
+            ):
+                cleared += 1
+        return cleared
 
     def on_failure(self, listener: Callable[[], None]) -> None:
         """Register a callback run when the switch fails (cluster recovery)."""
