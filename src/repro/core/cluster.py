@@ -277,6 +277,12 @@ class SwitchFSCluster:
         ]
         if drains:
             yield AllOf(self.sim, drains)
+        # drain_groups disambiguates the zero case: drain_us == 0.0 with
+        # drain_groups == 0 means nothing needed draining (the moving
+        # shards held no pending change-log entries — common when the hot
+        # group stays put or aggregation already flushed), while a zero
+        # drain_us with drain_groups > 0 would mean instant drains.
+        stats["drain_groups"] = len(drain_fps)
         stats["drain_us"] = self.sim.now - drain_start
 
         # --- Phase B: gated cutover -------------------------------------

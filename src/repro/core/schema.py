@@ -85,9 +85,21 @@ def fingerprint_of(pid: int, name: str) -> int:
 
 
 @lru_cache(maxsize=1 << 16)
+def _file_hash(pid: int, name: str) -> int:
+    """The shared per-file routing hash (salt ``"file-owner"``).
+
+    Both the server-index and shard mappings reduce this same digest, so
+    it is hashed once per distinct (pid, name) instead of once per
+    mapping — a create-heavy workload presents a fresh name on every op,
+    which makes the sha256 itself the cost that matters.
+    """
+    return _h256("file-owner", pid, name)
+
+
+@lru_cache(maxsize=1 << 16)
 def owner_of_file(pid: int, name: str, num_servers: int) -> int:
     """Per-file hash partitioning: the server index owning a file inode."""
-    return _h256("file-owner", pid, name) % num_servers
+    return _file_hash(pid, name) % num_servers
 
 
 @lru_cache(maxsize=1 << 16)
@@ -100,7 +112,7 @@ def file_shard_of(pid: int, name: str, num_shards: int) -> int:
     memoise across epochs: ``num_shards`` is fixed for a run — only the
     shard → server table changes, and that lives in the membership view.
     """
-    return _h256("file-owner", pid, name) % num_shards
+    return _file_hash(pid, name) % num_shards
 
 
 def owner_of_dir(fingerprint: int, num_servers: int) -> int:

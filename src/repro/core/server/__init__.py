@@ -73,7 +73,7 @@ from .runtime import ServerRuntime
 __all__ = ["MetadataServer", "ServerRuntime"]
 
 
-class MetadataServer(
+class MetadataServer(  # reprolint: allow[RL006] one instance per server, built at boot
     ServerOps,
     ReadOps,
     AggregationProtocol,
@@ -101,6 +101,11 @@ class MetadataServer(
         self._changelog_locks: Dict[int, RWLock] = {}
         self._group_blocks: Dict[int, Event] = {}
         self._pending_unlocks: Dict[int, Dict[str, Any]] = {}
+        # Watchdog scanners (ops._arm_unlock_watchdog / aggregation
+        # ._arm_pull_watchdog): at most one timer per server in flight.
+        self._wd_armed = False
+        self._pull_wd: Dict[int, Any] = {}
+        self._pull_wd_armed = False
         self._dir_nonce = 0
         self._remove_seq = 0
         self._grace_pending: Dict[int, bool] = {}

@@ -28,6 +28,8 @@ __all__ = ["AggregationProtocol"]
 class AggregationProtocol:
     """Mixin: group aggregation, pull-lock discipline, and proactive policy."""
 
+    __slots__ = ()
+
     # ------------------------------------------------------------------
     # group read-blocks
     # ------------------------------------------------------------------
@@ -183,7 +185,7 @@ class AggregationProtocol:
             yield from self._acquire(lock, "w")
         self._pull_locks[fp] = locks
         if self.config.unlock_watchdog_us:
-            self.sim.spawn(self._pull_lock_watchdog(fp, locks), name="pull-watchdog")
+            self._arm_pull_watchdog(fp, locks)
         yield from self._cpu(self.perf.kv_get_us)
         drained = self.changelogs.drain_group(fp)
         lsns = [lsn for _d, _e, lsn_list in drained for lsn in lsn_list]
@@ -206,12 +208,37 @@ class AggregationProtocol:
         if waiter is not None:
             waiter.succeed()
 
-    def _pull_lock_watchdog(self, fp: int, locks) -> Generator:
-        """Release pull locks if the aggregation ack is lost (UDP)."""
-        yield self.sim.timeout(self.config.unlock_watchdog_us)
-        if self._pull_locks.get(fp) is locks:
-            self.counters.inc("pull_watchdog_fires")
-            self._release_pull_locks(fp)
+    def _arm_pull_watchdog(self, fp: int, locks) -> None:
+        """Release pull locks if the aggregation ack is lost (UDP).
+
+        One scanner timer per server, not one per pull — same rationale
+        as :meth:`ServerOps._arm_unlock_watchdog`.  The identity check at
+        scan time (``_pull_locks.get(fp) is locks``) makes entries from
+        already-acked pulls harmless, so they lazily expire instead of
+        being eagerly removed on the ack path.
+        """
+        deadline = self.sim.now + self.config.unlock_watchdog_us
+        self._pull_wd[fp] = (deadline, locks)
+        if not self._pull_wd_armed:
+            self._pull_wd_armed = True
+            self.sim.timeout(
+                self.config.unlock_watchdog_us
+            ).add_callback(self._pull_watchdog_scan)
+
+    def _pull_watchdog_scan(self, ev) -> None:
+        now = self.sim.now
+        wd = self._pull_wd
+        expired = [fp for fp, (deadline, _) in wd.items() if deadline <= now]
+        for fp in expired:
+            _, locks = wd.pop(fp)
+            if self._pull_locks.get(fp) is locks:
+                self.counters.inc("pull_watchdog_fires")
+                self._release_pull_locks(fp)
+        if wd:
+            nxt = min(deadline for deadline, _ in wd.values())
+            self.sim.timeout(nxt - now).add_callback(self._pull_watchdog_scan)
+        else:
+            self._pull_wd_armed = False
 
     def _handle_agg_ack(self, request: RpcRequest, packet: Packet) -> Generator:
         """Aggregation done: unlock change-logs, mark shipped WAL records."""
@@ -236,7 +263,7 @@ class AggregationProtocol:
             yield from self._acquire(lock, "w")
         self._pull_locks[fp] = locks
         if self.config.unlock_watchdog_us:
-            self.sim.spawn(self._pull_lock_watchdog(fp, locks), name="pull-watchdog")
+            self._arm_pull_watchdog(fp, locks)
         yield from self._cpu(self.perf.kv_get_us)
         self.inval.insert(dir_id)
         drained = self.changelogs.drain_group(fp)

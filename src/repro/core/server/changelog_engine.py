@@ -29,6 +29,8 @@ __all__ = ["ChangeLogEngine"]
 class ChangeLogEngine:
     """Mixin: change-log movement and application."""
 
+    __slots__ = ()
+
     # ------------------------------------------------------------------
     # lock table for change-logs (keyed by directory id)
     # ------------------------------------------------------------------

@@ -38,6 +38,8 @@ _QUIESCE_POLL_US = 1.0
 class ShardMigration:
     """Mixin: shard collect/ship/install primitives for live migration."""
 
+    __slots__ = ()
+
     def quiesce_for_migration(self) -> Generator:
         """Wait until no mutator can touch this server's shard state.
 

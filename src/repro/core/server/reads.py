@@ -23,6 +23,8 @@ __all__ = ["ReadOps"]
 class ReadOps:
     """Mixin: read-side RPC handlers."""
 
+    __slots__ = ()
+
     # ------------------------------------------------------------------
     # directory reads: statdir / readdir (Figure 4, orange)
     # ------------------------------------------------------------------
@@ -71,7 +73,8 @@ class ReadOps:
     def _read_dir_inode(self, request: RpcRequest, packet: Packet) -> Generator:
         args = request.args
         pid, name, fp = args["pid"], args["name"], args["fp"]
-        yield from self._wait_recovered()
+        if self._recovered_ev is not None:  # inline _wait_recovered
+            yield self._recovered_ev
         yield from self._cpu(self.perf.path_check_us)
         self._check_valid(args)
         self._check_owner_dir(fp)
@@ -107,11 +110,13 @@ class ReadOps:
     # ------------------------------------------------------------------
     # single-inode operations
     # ------------------------------------------------------------------
+    # Plain functions returning the workflow generator: one less frame on
+    # every resume (`_serve` drives the returned generator directly).
     def _handle_stat(self, request: RpcRequest, packet: Packet) -> Generator:
-        return (yield from self._read_file_inode(request))
+        return self._read_file_inode(request)
 
     def _handle_open(self, request: RpcRequest, packet: Packet) -> Generator:
-        return (yield from self._read_file_inode(request))
+        return self._read_file_inode(request)
 
     def _handle_close(self, request: RpcRequest, packet: Packet) -> Generator:
         yield from self._wait_recovered()
@@ -121,15 +126,17 @@ class ReadOps:
     def _read_file_inode(self, request: RpcRequest) -> Generator:
         args = request.args
         pid, name = args["pid"], args["name"]
-        yield from self._wait_recovered()
-        yield from self._cpu(self.perf.path_check_us)
+        perf = self.perf
+        if self._recovered_ev is not None:  # inline _wait_recovered
+            yield self._recovered_ev
+        yield from self._cpu(perf.path_check_us)
         self._check_valid(args)
         self._check_owner_file(pid, name)
         key = file_meta_key(pid, name)
         lock = self._inode_lock(key)
         yield from self._acquire(lock, "r")
         try:
-            yield from self._cpu(self.perf.kv_get_us)
+            yield from self._cpu(perf.kv_get_us)
             inode = self.kv.get_or_none(key)
             if inode is None:
                 raise FSError(ENOENT, f"{pid}/{name}")

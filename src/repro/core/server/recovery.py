@@ -21,6 +21,8 @@ __all__ = ["CrashRecovery"]
 class CrashRecovery:
     """Mixin: checkpointing, crash, and WAL-replay recovery."""
 
+    __slots__ = ()
+
     def _handle_clone_invalidation(self, request: RpcRequest, packet: Packet) -> Generator:
         yield from self._cpu(self.perf.kv_get_us)
         return {"ids": self.inval.snapshot()}
@@ -73,6 +75,9 @@ class CrashRecovery:
         self._group_blocks.clear()
         self._pending_unlocks.clear()
         self._pull_locks.clear()
+        # The scanner timers themselves survive (they live in the sim
+        # heap); with the dicts empty they fire as no-ops and disarm.
+        self._pull_wd.clear()
         self._inflight_mutators = 0
         self._rename_locks.clear()
         self._push_inflight.clear()

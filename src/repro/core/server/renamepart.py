@@ -22,6 +22,8 @@ __all__ = ["RenameParticipant"]
 class RenameParticipant:
     """Mixin: rename coordinator entry point + 2PC participant handlers."""
 
+    __slots__ = ()
+
     def _handle_rename(self, request: RpcRequest, packet: Packet) -> Generator:
         from ..rename import run_rename  # local import: avoids module cycle
 

@@ -14,7 +14,7 @@ __all__ = ["FaultModel", "FaultDecision"]
 
 
 @dataclass(frozen=True)
-class FaultDecision:
+class FaultDecision:  # reprolint: allow[RL006] allocated only during fault drills
     """The fate of one transmitted packet.
 
     ``copies`` is how many instances of the packet to deliver (0 = lost,
@@ -30,7 +30,7 @@ class FaultDecision:
         return self.copies == 0
 
 
-class FaultModel:
+class FaultModel:  # reprolint: allow[RL006] one per network, built at boot
     """Randomised per-packet fault decisions.
 
     Parameters

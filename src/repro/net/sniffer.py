@@ -26,7 +26,7 @@ __all__ = ["Sniffer", "CapturedPacket"]
 
 
 @dataclass(frozen=True)
-class CapturedPacket:
+class CapturedPacket:  # reprolint: allow[RL006] allocated only while a sniffer is attached
     """One captured transmission (recorded at send time, pre-fault-roll)."""
 
     time_us: float
@@ -64,7 +64,7 @@ class CapturedPacket:
         )
 
 
-class Sniffer:
+class Sniffer:  # reprolint: allow[RL006] analysis-only attachment, off the op path
     """Wraps ``net.send`` to capture traffic; restore with :meth:`detach`."""
 
     def __init__(self, net: Network):

@@ -52,7 +52,7 @@ __all__ = [
 ]
 
 
-class SwitchDevice(Protocol):
+class SwitchDevice(Protocol):  # reprolint: allow[RL006] structural type, never instantiated
     """Anything that can sit on a packet path.
 
     ``process`` returns the packets leaving the device: usually the input
@@ -71,7 +71,7 @@ class SwitchDevice(Protocol):
         ...
 
 
-class PassthroughSwitch:
+class PassthroughSwitch:  # reprolint: allow[RL006] one per network, built at boot
     """A plain, non-programmable switch: forwards everything untouched."""
 
     is_transparent = True
@@ -238,7 +238,7 @@ class _Hop(Event):
         heapq.heappush(sim._heap, (when, next(sim._counter), self))  # reprolint: allow[private-access] documented scheduler fast path
 
 
-class Network:
+class Network:  # reprolint: allow[RL006] one per cluster, built at boot
     """The fabric: registers hosts, owns the path function, moves packets."""
 
     def __init__(

@@ -17,6 +17,13 @@ from .kernel import (
     Simulator,
     Timeout,
 )
+from .partition import (
+    PartitionGuard,
+    PartitionViolation,
+    WindowedRunner,
+    lookahead_bound_us,
+    partition_of_dir,
+)
 from .rand import ZipfGenerator, make_rng, weighted_choice
 from .resources import Lock, Resource, RWLock, Store
 from .stats import Counter, LatencyRecorder, PhaseStats, ThroughputMeter, percentile
@@ -42,4 +49,9 @@ __all__ = [
     "make_rng",
     "ZipfGenerator",
     "weighted_choice",
+    "PartitionGuard",
+    "PartitionViolation",
+    "WindowedRunner",
+    "lookahead_bound_us",
+    "partition_of_dir",
 ]

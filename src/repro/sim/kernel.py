@@ -153,7 +153,7 @@ class Event:
         self._triggered = True
         self._value = value
         sim = self.sim
-        _heappush(sim._heap, (sim._now, next(sim._counter), self))
+        _heappush(sim._heap, (sim.now, next(sim._counter), self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -165,7 +165,7 @@ class Event:
         self._triggered = True
         self._exc = exc
         sim = self.sim
-        _heappush(sim._heap, (sim._now, next(sim._counter), self))
+        _heappush(sim._heap, (sim.now, next(sim._counter), self))
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -223,7 +223,7 @@ class Timeout(Event):
         self.delay = delay
         self._triggered = True
         self._value = value
-        heapq.heappush(sim._heap, (sim._now + delay, next(sim._counter), self))
+        heapq.heappush(sim._heap, (sim.now + delay, next(sim._counter), self))
 
 
 class Process(Event):
@@ -252,7 +252,7 @@ class Process(Event):
             # entry; _run_callbacks dispatches on _started.  Heap position
             # (and hence deterministic tie-break order) matches the old
             # boot event exactly.
-            heapq.heappush(sim._heap, (sim._now, next(sim._counter), self))
+            heapq.heappush(sim._heap, (sim.now, next(sim._counter), self))
         else:
             # Adopted process (Simulator.adopt): the generator already ran
             # inline up to its first pending yield; the caller wires the
@@ -452,7 +452,7 @@ class AnyOf(Event):
                 ev._discard_callback(cb)
 
 
-class Simulator:
+class Simulator:  # reprolint: allow[RL006] singleton; set_tracer swaps self.__dict__ entries
     """The virtual clock and event loop.
 
     All simulated components hold a reference to one ``Simulator`` and
@@ -466,7 +466,10 @@ class Simulator:
     _process_cls = Process
 
     def __init__(self):
-        self._now = 0.0
+        #: Current virtual time in microseconds.  A plain attribute (not a
+        #: property): it is read on every hot-path resume and the kernel is
+        #: its only writer.
+        self.now = 0.0
         self._heap: List = []
         self._counter = itertools.count()
         self._stopped = False
@@ -482,11 +485,6 @@ class Simulator:
         granted._triggered = True
         granted._processed = True
         self._granted_none = granted
-
-    @property
-    def now(self) -> float:
-        """Current virtual time in microseconds."""
-        return self._now
 
     # -- event constructors ----------------------------------------------
     def event(self) -> Event:
@@ -508,7 +506,7 @@ class Simulator:
             t.delay = delay
             t._value = value
             t._processed = False
-            _heappush(self._heap, (self._now + delay, next(self._counter), t))
+            _heappush(self._heap, (self.now + delay, next(self._counter), t))
             return t
         return Timeout(self, delay, value)
 
@@ -582,7 +580,7 @@ class Simulator:
         heapq.heappush(self._heap, (when, next(self._counter), event))
 
     def _enqueue_triggered(self, event: Event) -> None:
-        self.schedule_at(self._now, event)
+        self.schedule_at(self.now, event)
 
     def _recycle(self, t: Timeout) -> None:
         """Return a processed timeout to the pool if nothing references it.
@@ -604,9 +602,9 @@ class Simulator:
     def step(self) -> None:
         """Process the single next event."""
         when, _, event = heapq.heappop(self._heap)
-        if when < self._now:
+        if when < self.now:
             raise SimulationError("time went backwards")
-        self._now = when
+        self.now = when
         event._run_callbacks()
         if type(event) is Timeout:
             self._recycle(event)
@@ -627,12 +625,12 @@ class Simulator:
         refcount = _refcount
         while heap and not self._stopped:
             if until is not None and heap[0][0] > until:
-                self._now = until
+                self.now = until
                 return
             when, _, event = pop(heap)
-            if when < self._now:
+            if when < self.now:
                 raise SimulationError("time went backwards")
-            self._now = when
+            self.now = when
             cls = event.__class__
             if cls is Timeout or cls is Event:
                 # Inlined Event._run_callbacks.
@@ -655,8 +653,8 @@ class Simulator:
                     pool.append(event)
             else:
                 event._run_callbacks()
-        if until is not None and self._now < until:
-            self._now = until
+        if until is not None and self.now < until:
+            self.now = until
 
     def run_process(self, proc: Process, until: Optional[float] = None) -> Any:
         """Run until *proc* completes and return its value.
@@ -675,9 +673,9 @@ class Simulator:
             if until is not None and heap[0][0] > until:
                 raise SimulationError(f"process {proc.name!r} still running at t={until}")
             when, _, event = pop(heap)
-            if when < self._now:
+            if when < self.now:
                 raise SimulationError("time went backwards")
-            self._now = when
+            self.now = when
             cls = event.__class__
             if cls is Timeout or cls is Event:
                 # Same inlined dispatch as Simulator.run (kept in sync).

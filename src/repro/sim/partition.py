@@ -1,0 +1,167 @@
+"""Conservatively-synchronized partitioned execution of the DES kernel.
+
+Classic parallel-DES theory (Chandy/Misra/Bryant) lets logical processes
+advance independently as long as no LP executes an event further ahead
+than the earliest message any other LP could still send it — the
+*lookahead* bound.  In this reproduction the partitioning unit is the
+**directory subtree**: a multi-directory metadata workload decomposes
+into per-directory-group op streams that never touch each other's
+inodes, entry lists or change-logs, so each partition can run in its own
+worker process against a private replica of the cluster.
+
+Three pieces live here:
+
+* :func:`partition_of_dir` — the stable directory -> partition map
+  (CRC32 of the path, like :func:`repro.bench.sweep.derive_seed`; never
+  ``hash()``, which is randomized per interpreter launch).
+* :class:`PartitionGuard` — the safety net that turns the "partitions
+  are independent" *assumption* into a *checked invariant*: every op
+  injected into a partitioned run is validated against the partition
+  map, and an op that would touch a foreign partition's directory
+  raises :class:`PartitionViolation` instead of silently corrupting the
+  equivalence argument.
+* :class:`WindowedRunner` — the per-worker partition driver.  It
+  advances a simulator in bounded virtual-time windows no wider than
+  the lookahead bound (:func:`lookahead_bound_us` — the minimum latency
+  of any cross-partition message, one switch traversal between adjacent
+  links).  Within a window events are processed in exactly the order
+  the monolithic run would process them (windowing never reorders the
+  heap), so a windowed run is **bit-identical** to a plain
+  :meth:`~repro.sim.Simulator.run_process` of the same workload; the
+  window boundary is where a conservative synchronizer would exchange
+  null messages, and the runner exposes it as the ``on_window`` hook
+  (the guard audits there, tests count windows there).
+
+See DESIGN.md §14 for the full synchronization-invariants argument.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Optional
+
+from .kernel import Process, SimulationError, Simulator
+
+__all__ = [
+    "PartitionViolation",
+    "partition_of_dir",
+    "lookahead_bound_us",
+    "PartitionGuard",
+    "WindowedRunner",
+]
+
+
+class PartitionViolation(SimulationError):
+    """An operation crossed a partition boundary in partitioned mode."""
+
+
+def partition_of_dir(path: str, nparts: int) -> int:
+    """Stable partition index for directory *path* (0 <= idx < nparts).
+
+    CRC32-based so the map is identical across processes and interpreter
+    launches regardless of ``PYTHONHASHSEED``.
+    """
+    if nparts <= 1:
+        return 0
+    return zlib.crc32(path.encode()) % nparts
+
+
+def lookahead_bound_us(perf: Any) -> float:
+    """The minimum virtual latency of any cross-partition interaction.
+
+    No message between two servers (or a client and a server) can arrive
+    in less than one link traversal plus the switch forwarding delay, so
+    a window of this width can never process an event that a peer
+    partition's in-flight message should have preceded.
+    """
+    return perf.link_latency_us + perf.switch_latency_us
+
+
+class PartitionGuard:
+    """Checked partition membership for ops injected into a worker.
+
+    ``admit(thunk)`` validates one op thunk (as produced by
+    :class:`~repro.workloads.FixedOpStream`, which stamps ``dir_path``)
+    against this worker's partition.  Ops without a directory stamp are
+    rejected too: an unattributable op cannot be proven local.
+    """
+
+    __slots__ = ("nparts", "index", "admitted")
+
+    def __init__(self, nparts: int, index: int):
+        if not 0 <= index < nparts:
+            raise ValueError(f"partition index {index} outside [0, {nparts})")
+        self.nparts = nparts
+        self.index = index
+        self.admitted = 0
+
+    def admit(self, thunk: Any) -> Any:
+        d = getattr(thunk, "dir_path", None)
+        if d is None:
+            raise PartitionViolation(
+                f"op {getattr(thunk, 'op_name', thunk)!r} has no dir_path "
+                "stamp; cannot prove it stays inside partition "
+                f"{self.index}/{self.nparts}"
+            )
+        owner = partition_of_dir(d, self.nparts)
+        if owner != self.index:
+            raise PartitionViolation(
+                f"op on {d!r} belongs to partition {owner}, not "
+                f"{self.index} (of {self.nparts})"
+            )
+        self.admitted += 1
+        return thunk
+
+
+class WindowedRunner:
+    """Drive a simulator in lookahead-bounded virtual-time windows.
+
+    The partition worker's event loop: repeatedly run the kernel up to
+    ``now + window_us`` until the root process completes.  ``on_window``
+    (if given) fires after every window with the current virtual time —
+    the synchronization point where a conservative parallel scheduler
+    would exchange null messages with peer partitions.
+    """
+
+    __slots__ = ("sim", "window_us", "on_window", "windows")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        window_us: float,
+        on_window: Optional[Callable[[float], None]] = None,
+    ):
+        if window_us <= 0:
+            raise SimulationError(f"window must be positive, got {window_us}")
+        self.sim = sim
+        self.window_us = window_us
+        self.on_window = on_window
+        self.windows = 0
+
+    def run_process(self, proc: Process) -> Any:
+        """Run until *proc* completes; returns its value (raises on fail).
+
+        Equivalent to ``sim.run_process(proc)`` except the clock is
+        advanced window by window.  Windowing cannot reorder events —
+        the heap pops in the same global order either way — so results
+        are bit-identical to the monolithic run.
+        """
+        sim = self.sim
+        window = self.window_us
+        on_window = self.on_window
+        heap = sim._heap  # reprolint: allow[private-access] window scheduler peeks the event heap
+        while not proc._triggered:  # reprolint: allow[private-access] same completion probe sim.run_process uses
+            if not heap:
+                raise SimulationError(
+                    f"deadlock: process {proc.name!r} never finished"
+                )
+            # Jump idle gaps: opening the window at the next event's time
+            # (not now + window) keeps the window count proportional to
+            # busy time, and cannot skip anything — there is nothing to
+            # synchronize on while the heap's head is in the future.
+            horizon = max(sim.now, heap[0][0]) + window
+            sim.run(until=horizon)
+            self.windows += 1
+            if on_window is not None:
+                on_window(sim.now)
+        return proc.value

@@ -99,6 +99,13 @@ class FixedOpStream(OpStream):
     def next_thunk(self) -> OpThunk:
         op = self.op
         d = self._pick_dir()
+        thunk = self._thunk_for(op, d)
+        # Partitioned mode routes ops by target directory; every thunk
+        # carries its directory so the partition guard can audit it.
+        thunk.dir_path = d
+        return thunk
+
+    def _thunk_for(self, op: str, d: str) -> OpThunk:
         if op == "create":
             seq = self._create_seq.get(d, 0)
             self._create_seq[d] = seq + 1

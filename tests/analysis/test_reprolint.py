@@ -278,6 +278,101 @@ class TestRL005PoolProtocol:
         assert lint_file(p) == []
 
 
+class TestRL006SlotlessHotClass:
+    def _hot_dir(self, tmp_path):
+        d = tmp_path / "core" / "server"
+        d.mkdir(parents=True)
+        return d
+
+    def test_slotless_class_in_hot_module_flagged(self, tmp_path):
+        p = _write(
+            self._hot_dir(tmp_path),
+            "ops.py",
+            """
+            class OpState:
+                def __init__(self):
+                    self.count = 0
+            """,
+        )
+        findings = lint_file(p)
+        assert _rules(findings) == ["RL006"]
+        assert "__slots__" in findings[0].message
+
+    def test_slotted_class_and_empty_slots_mixin_are_clean(self, tmp_path):
+        p = _write(
+            self._hot_dir(tmp_path),
+            "ops.py",
+            """
+            class OpState:
+                __slots__ = ("count",)
+
+                def __init__(self):
+                    self.count = 0
+
+
+            class OpsMixin:
+                __slots__ = ()
+            """,
+        )
+        assert lint_file(p) == []
+
+    def test_exception_and_enum_classes_exempt(self, tmp_path):
+        p = _write(
+            self._hot_dir(tmp_path),
+            "errors.py",
+            """
+            import enum
+
+
+            class ShardError(ValueError):
+                pass
+
+
+            class Phase(enum.IntEnum):
+                DRAIN = 0
+            """,
+        )
+        assert lint_file(p) == []
+
+    def test_cold_module_not_flagged(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "config.py",
+            """
+            class Settings:
+                def __init__(self):
+                    self.retries = 3
+            """,
+        )
+        assert lint_file(p) == []
+
+    def test_sim_kernel_suffix_is_hot(self, tmp_path):
+        d = tmp_path / "sim"
+        d.mkdir()
+        p = _write(
+            d,
+            "kernel.py",
+            """
+            class PendingEvent:
+                def __init__(self):
+                    self.when = 0.0
+            """,
+        )
+        assert _rules(lint_file(p)) == ["RL006"]
+
+    def test_allow_comment_suppresses_cold_singleton(self, tmp_path):
+        p = _write(
+            self._hot_dir(tmp_path),
+            "boot.py",
+            """
+            class Bootstrapper:  # reprolint: allow[RL006] built once at boot
+                def __init__(self):
+                    self.ready = False
+            """,
+        )
+        assert lint_file(p) == []
+
+
 class TestSuppressionAndOutput:
     def test_allow_comment_suppresses_named_rule(self, tmp_path):
         p = _write(
@@ -363,7 +458,9 @@ class TestSuppressionAndOutput:
         assert "syntax error" in findings[0].message
 
     def test_rule_table_is_complete(self):
-        assert set(RULES) == {"RL001", "RL002", "RL003", "RL004", "RL005"}
+        assert set(RULES) == {
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        }
 
 
 class TestRepoIsClean:

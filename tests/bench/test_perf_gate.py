@@ -1,0 +1,83 @@
+"""Tests for the CI perf-regression gate (repro.bench.perf.gate_regressions)."""
+
+import json
+
+from repro.bench.perf import SCHEMA_VERSION, SUITE_RATE_KEYS, gate_regressions
+
+
+def write_trajectory(path, suite, entries):
+    data = {"schema": SCHEMA_VERSION, "suite": suite, "history": entries}
+    path.write_text(json.dumps(data))
+
+
+def entry(label, rate, scale="tiny", rate_key="events_per_sec",
+          workload="w1"):
+    return {
+        "label": label,
+        "scale": scale,
+        "results": {workload: {rate_key: rate, "wall_seconds": 1.0}},
+    }
+
+
+class TestGateRegressions:
+    def test_within_tolerance_passes(self, tmp_path):
+        p = tmp_path / "BENCH_kernel.json"
+        write_trajectory(p, "kernel",
+                         [entry("base", 1000.0), entry("new", 800.0)])
+        assert gate_regressions(str(p), "kernel", "base", "new",
+                                max_regression=0.25) == []
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path):
+        p = tmp_path / "BENCH_kernel.json"
+        write_trajectory(p, "kernel",
+                         [entry("base", 1000.0), entry("new", 700.0)])
+        failures = gate_regressions(str(p), "kernel", "base", "new",
+                                    max_regression=0.25)
+        assert len(failures) == 1
+        assert "kernel/w1" in failures[0]
+
+    def test_improvement_passes(self, tmp_path):
+        p = tmp_path / "BENCH_kernel.json"
+        write_trajectory(p, "kernel",
+                         [entry("base", 1000.0), entry("new", 2000.0)])
+        assert gate_regressions(str(p), "kernel", "base", "new") == []
+
+    def test_missing_baseline_skips(self, tmp_path):
+        p = tmp_path / "BENCH_kernel.json"
+        write_trajectory(p, "kernel", [entry("new", 1000.0)])
+        assert gate_regressions(str(p), "kernel", "base", "new") is None
+
+    def test_missing_file_skips(self, tmp_path):
+        missing = tmp_path / "BENCH_kernel.json"
+        assert gate_regressions(str(missing), "kernel", "base", "new") is None
+
+    def test_scale_mismatch_skips(self, tmp_path):
+        p = tmp_path / "BENCH_kernel.json"
+        write_trajectory(p, "kernel",
+                         [entry("base", 1000.0, scale="full"),
+                          entry("new", 100.0, scale="tiny")])
+        assert gate_regressions(str(p), "kernel", "base", "new") is None
+
+    def test_new_workload_without_baseline_is_ignored(self, tmp_path):
+        p = tmp_path / "BENCH_e2e.json"
+        base = entry("base", 1000.0, rate_key="wall_ops_per_sec")
+        new = entry("new", 900.0, rate_key="wall_ops_per_sec")
+        new["results"]["brand_new_point"] = {"wall_ops_per_sec": 1.0}
+        write_trajectory(p, "e2e", [base, new])
+        assert gate_regressions(str(p), "e2e", "base", "new") == []
+
+    def test_every_suite_has_a_rate_key(self):
+        assert set(SUITE_RATE_KEYS) == {"kernel", "rpc", "store", "e2e"}
+
+    def test_committed_baselines_exist_at_tiny_scale(self):
+        """The CI gate only bites if these stay committed."""
+        import os
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        for suite in ("kernel", "rpc", "store", "e2e"):
+            path = os.path.join(root, f"BENCH_{suite}.json")
+            with open(path) as f:
+                history = json.load(f)["history"]
+            assert any(
+                e["label"] == "ci-baseline" and e["scale"] == "tiny"
+                for e in history
+            ), f"BENCH_{suite}.json lost its committed ci-baseline entry"

@@ -11,8 +11,18 @@ from repro.core import FSConfig, SwitchFSCluster
 from repro.workloads import FixedOpStream, bootstrap, multiple_directories
 
 
+import pytest
+
+
 def square(x):
     return x * x
+
+
+def boom(x):
+    """Module-level (picklable) worker that crashes on one input."""
+    if x == 2:
+        raise ValueError(f"worker exploded on {x}")
+    return x
 
 
 def tiny_run(inflight):
@@ -58,6 +68,16 @@ class TestSweepPool:
     def test_sweep_points_wrapper(self):
         assert sweep_points(square, [2, 4], serial=True) == [4, 16]
 
+    def test_worker_crash_propagates_from_pool(self):
+        """A crash in a pool worker surfaces as the original exception,
+        not a hang or a silently truncated result list."""
+        with pytest.raises(ValueError, match="worker exploded on 2"):
+            SweepPool(max_workers=2, serial=False).map(boom, [0, 1, 2, 3])
+
+    def test_worker_crash_propagates_serially(self):
+        with pytest.raises(ValueError, match="worker exploded on 2"):
+            SweepPool(serial=True).map(boom, [0, 1, 2, 3])
+
     def test_benchmark_point_identical_serial_vs_pool(self):
         """A real simulation point returns bit-identical results from a
         worker process and from the in-process escape hatch."""
@@ -84,6 +104,13 @@ class TestDeriveSeed:
     def test_non_negative_31_bit(self):
         s = derive_seed(0, "x")
         assert 0 <= s < 2**31
+
+    def test_pinned_values(self):
+        """Exact pins: a CRC/repr change would silently re-seed every
+        sweep point and invalidate all recorded figures."""
+        assert derive_seed(17, "SwitchFS", "create", 8) == 1226099211
+        assert derive_seed(42, "fig11") == 1019583860
+        assert derive_seed(0, "x") == 688745975
 
 
 class TestFindPeakWithPool:

@@ -88,7 +88,7 @@ class TestUnlockTokens:
             "locks": [(lock, "w")], "log": log,
             "entry": ChangeLogEntry(1.0, ChangeOp.CREATE, "z"), "lsn": 0,
         }
-        cluster.sim.spawn(server._unlock_watchdog(777), name="wd")
+        server._arm_unlock_watchdog(777)
         cluster.run(until=cluster.sim.now + 500.0)
         assert not lock.write_locked
         assert server.counters.get("unlock_watchdog_fires") == 1

@@ -165,3 +165,38 @@ class TestMigrationLockDiscipline:
         assert tracer.lock_events
         assert lock_order_cycles(tracer) == []
         assert race_findings(tracer) == []
+
+
+class TestDrainAccounting:
+    """drain_us/drain_groups distinguish "nothing to drain" from a
+    measured drain (BENCH elasticity entries carry both)."""
+
+    def test_migration_with_pending_changelogs_measures_drain(self):
+        cluster = SwitchFSCluster(FSConfig(num_servers=2, seed=11))
+        fs = cluster.client(0)
+        # Spread pending async updates over many groups: run_op stops at
+        # op completion, so the aggregation timers have not fired and the
+        # change-logs still hold entries when the migration starts.
+        for i in range(8):
+            cluster.run_op(fs.mkdir(f"/d{i}"))
+        for i in range(8):
+            for j in range(4):
+                cluster.run_op(fs.create(f"/d{i}/f{j}"))
+        assert any(
+            list(s.changelogs.non_empty_groups()) for s in cluster.servers
+        )
+        up = cluster.scale_up()
+        assert up["drain_groups"] > 0
+        assert up["drain_us"] > 0.0
+
+    def test_migration_with_settled_changelogs_reports_zero_groups(self):
+        cluster = SwitchFSCluster(FSConfig(num_servers=2, seed=11))
+        fs = cluster.client(0)
+        cluster.run_op(fs.mkdir("/q"))
+        for j in range(6):
+            cluster.run_op(fs.create(f"/q/f{j}"))
+        cluster.settle()  # flush every change-log before migrating
+        up = cluster.scale_up()
+        # The zero is explained, not ambiguous: no groups needed draining.
+        assert up["drain_groups"] == 0
+        assert up["drain_us"] == 0.0
