@@ -28,7 +28,12 @@ REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
 if os.path.isdir(os.path.join(REPO_ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
-from repro.bench.perf import SUITE_RATE_KEYS, gate_regressions  # noqa: E402
+from repro.bench.perf import (  # noqa: E402
+    CACHE_GATE_WORKLOAD,
+    SUITE_RATE_KEYS,
+    gate_cache_hit_rate,
+    gate_regressions,
+)
 
 
 def main(argv=None) -> int:
@@ -41,6 +46,9 @@ def main(argv=None) -> int:
                         help="allowed fractional rate drop (default 0.25)")
     parser.add_argument("--dir", default=REPO_ROOT,
                         help="directory holding BENCH_*.json")
+    parser.add_argument("--min-cache-hit-rate", type=float, default=0.5,
+                        help="required in-switch dentry-cache hit rate on the "
+                             "hotspot sweep point (default 0.5; 0 disables)")
     args = parser.parse_args(argv)
 
     if os.environ.get("REPRO_PERF_GATE_SKIP", "") not in ("", "0"):
@@ -63,6 +71,23 @@ def main(argv=None) -> int:
         else:
             print(f"perf gate: {suite}: ok "
                   f"(within {args.max_regression:.0%} of {args.baseline!r})")
+
+    # Absolute cache-effectiveness gate: the freshly recorded hotspot
+    # sweep point must hit in the switch most of the time (the run is
+    # deterministic in virtual time, so this is a functional check, not a
+    # hardware-sensitive one).
+    if args.min_cache_hit_rate > 0:
+        path = os.path.join(args.dir, "BENCH_e2e.json")
+        result = gate_cache_hit_rate(
+            path, args.label, min_hit_rate=args.min_cache_hit_rate)
+        if result is None:
+            print(f"perf gate: cache-hit-rate: no {CACHE_GATE_WORKLOAD!r} "
+                  f"entry for {args.label!r} — skipped")
+        elif result:
+            failures.extend(result)
+        else:
+            print(f"perf gate: cache-hit-rate: ok "
+                  f"(>= {args.min_cache_hit_rate:.0%} on {CACHE_GATE_WORKLOAD})")
 
     if failures:
         print(f"perf gate: {len(failures)} regression(s):", file=sys.stderr)

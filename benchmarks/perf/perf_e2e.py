@@ -18,7 +18,12 @@ REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
 if os.path.isdir(os.path.join(REPO_ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
-from repro.bench.perf import bench_e2e, bench_elasticity, record_entry  # noqa: E402
+from repro.bench.perf import (  # noqa: E402
+    bench_e2e,
+    bench_elasticity,
+    bench_switch_cache,
+    record_entry,
+)
 
 
 def main(argv=None) -> int:
@@ -35,6 +40,7 @@ def main(argv=None) -> int:
 
     scale = "tiny" if args.tiny else "full"
     results = bench_e2e(scale=scale, repeats=args.repeats)
+    results.update(bench_switch_cache(scale=scale))
     results.update(bench_elasticity(scale=scale))
     print(json.dumps(results, indent=2))
     if not args.no_record:

@@ -15,7 +15,7 @@ from __future__ import annotations
 import gc
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence
 
 from ..core.cluster import SwitchFSCluster
 from ..sim import AllOf, LatencyRecorder, PhaseStats
@@ -39,12 +39,22 @@ class RunResult:
     # Server-side phase breakdown (queue/cpu/lock/net wait), merged over
     # every server, covering exactly this run's window.
     phases: PhaseStats = field(default_factory=PhaseStats)
+    # In-switch dentry-cache counters (hits/misses/fills/evictions) for
+    # this run's window; empty when the cache is not provisioned.  The
+    # per-call latency split lives in the recorder's "switch_hit" /
+    # "switch_miss" buckets.
+    switch_cache: Dict[str, int] = field(default_factory=dict)
 
     def phase_mean_us(self, phase: str) -> float:
         """Per-op mean time spent in *phase* across the whole cluster."""
         if self.ops_completed == 0:
             return 0.0
         return self.phases.total(phase) / self.ops_completed
+
+    @property
+    def switch_cache_hit_rate(self) -> float:
+        probes = self.switch_cache.get("hits", 0) + self.switch_cache.get("misses", 0)
+        return self.switch_cache.get("hits", 0) / probes if probes else 0.0
 
     @property
     def throughput_ops(self) -> float:
@@ -101,6 +111,21 @@ def run_stream(
     # so the record() validation adds nothing on this innermost loop.
     label_samples = latency.bucket(label)
     all_samples = latency.bucket("all") if label != "all" else label_samples
+    cache_base: Dict[str, int] = {}
+
+    def switch_cache_counts() -> Optional[Dict[str, int]]:
+        stats_fn = getattr(cluster, "switch_stats", None)
+        if stats_fn is None:
+            return None
+        st = stats_fn()
+        if st is None or getattr(st, "cache_capacity", 0) == 0:
+            return None  # no dentry cache provisioned
+        return {
+            "hits": st.cache_hits,
+            "misses": st.cache_misses,
+            "fills": st.cache_fills,
+            "evictions": st.cache_evictions,
+        }
 
     def open_window():
         state.window_start = sim.now
@@ -108,6 +133,16 @@ def run_stream(
         # whatever bootstrap / warmup traffic accumulated before it.
         for server in servers:
             server.phases.clear()
+        counts = switch_cache_counts()
+        if counts is not None:
+            cache_base.clear()
+            cache_base.update(counts)
+        # Same windowing for the clients' switch-served-reply buckets:
+        # LatencyRecorder has no clear(), so swap in fresh recorders.
+        for w in range(num_clients):
+            fs = cluster.client(w)
+            if hasattr(fs, "switch_latency"):
+                fs.switch_latency = type(fs.switch_latency)()
 
     def worker(client_idx: int):
         fs = cluster.client(client_idx)
@@ -163,6 +198,16 @@ def run_stream(
     phases = PhaseStats()
     for server in servers:
         phases.merge(server.phases)
+    switch_cache: Dict[str, int] = {}
+    counts = switch_cache_counts()
+    if counts is not None:
+        switch_cache = {
+            k: v - cache_base.get(k, 0) for k, v in counts.items()
+        }
+        for w in range(num_clients):
+            fs = cluster.client(w)
+            if hasattr(fs, "switch_latency"):
+                latency.merge(fs.switch_latency)
     return RunResult(
         ops_completed=total_ops - warmup_ops,
         sim_elapsed_us=window_end - window_start,
@@ -170,6 +215,7 @@ def run_stream(
         latency=latency,
         inflight=inflight,
         phases=phases,
+        switch_cache=switch_cache,
     )
 
 

@@ -55,6 +55,7 @@ __all__ = [
     "bench_rpc",
     "bench_store",
     "bench_e2e",
+    "bench_switch_cache",
     "bench_elasticity",
     "record_entry",
     "load_trajectory",
@@ -63,6 +64,8 @@ __all__ = [
     "write_profile",
     "SUITE_RATE_KEYS",
     "gate_regressions",
+    "CACHE_GATE_WORKLOAD",
+    "gate_cache_hit_rate",
 ]
 
 SCHEMA_VERSION = 1
@@ -697,6 +700,96 @@ def bench_e2e(scale: str = "full", repeats: int = 1) -> Dict[str, Dict[str, floa
     return {"fig11_hotspot_create": best}
 
 
+SWITCH_CACHE_SCALES = {
+    # Design-space sweep for the in-switch dentry cache: a stat hotspot
+    # (every op is a cache-eligible file lookup) and the DCS production
+    # mix (Table 1: ~65% open/stat reads plus the full mutation surface,
+    # so the coherence/eviction path is on the measured path).
+    "full": {"total_ops": 4000, "inflight": 64, "num_servers": 8, "files": 512},
+    "tiny": {"total_ops": 300, "inflight": 16, "num_servers": 2, "files": 48},
+}
+
+#: arm -> FSConfig overrides.  "small" deliberately under-provisions the
+#: cache (32 lines/pipe < the file population) so replacement churn shows
+#: up in the sweep; "large" covers the population with room to spare.
+SWITCH_CACHE_ARMS: Dict[str, Dict[str, Any]] = {
+    "off": {},
+    "small": {
+        "switch_cache": True,
+        "switch_cache_stages": 2,
+        "switch_cache_index_bits": 4,
+    },
+    "large": {
+        "switch_cache": True,
+        "switch_cache_stages": 4,
+        "switch_cache_index_bits": 10,
+    },
+}
+
+
+def bench_switch_cache(scale: str = "full") -> Dict[str, Dict[str, float]]:
+    """Stale-set-only vs cache+stale-set across cache capacities.
+
+    Every (workload × arm) point gets a fresh cluster; "off" is the
+    stale-set-only baseline (``switch_cache=False``, the default), so the
+    entries double as the Fig 11-style evidence that serving hot lookups
+    from the pipeline beats forwarding them on read/stat-heavy mixes.
+    Entries keep the e2e suite's ``wall_ops_per_sec`` rate key (the CI
+    gate compares them like any other e2e point) and add the virtual-time
+    rate, the windowed switch counters, and the hit rate.
+    """
+    from ..workloads import (
+        DATA_CENTER_SERVICES_MIX,
+        FixedOpStream,
+        MixStream,
+        bootstrap,
+        single_large_directory,
+    )
+
+    params = SWITCH_CACHE_SCALES[scale]
+    workloads: Dict[str, Callable[[Any], Any]] = {
+        "hotspot_stat": lambda pop: FixedOpStream(
+            "stat", pop, seed=17, dir_choice="single"
+        ),
+        "dcs_mix": lambda pop: MixStream(
+            DATA_CENTER_SERVICES_MIX, pop, seed=17, data_enabled=False
+        ),
+    }
+    results: Dict[str, Dict[str, float]] = {}
+    for wname, make_stream in workloads.items():
+        for arm, overrides in SWITCH_CACHE_ARMS.items():
+            cluster = make_cluster(
+                "SwitchFS",
+                scaled_config(num_servers=params["num_servers"], **overrides),
+            )
+            pop = bootstrap(
+                cluster, single_large_directory(params["files"]), warm_clients=[0]
+            )
+            stream = make_stream(pop)
+            result = run_stream(
+                cluster,
+                stream,
+                total_ops=params["total_ops"],
+                inflight=params["inflight"],
+                op_label=wname,
+            )
+            wall = result.wall_seconds
+            entry: Dict[str, float] = {
+                "ops": result.ops_completed,
+                "wall_seconds": round(wall, 6),
+                "wall_ops_per_sec": round(result.ops_completed / wall, 1)
+                if wall
+                else 0.0,
+                "sim_throughput_kops": round(result.throughput_kops, 2),
+                "mean_latency_us": round(result.mean_latency_us, 3),
+                "cache_hit_rate": round(result.switch_cache_hit_rate, 4),
+            }
+            for key, value in result.switch_cache.items():
+                entry[f"cache_{key}"] = value
+            results[f"switch_cache_{wname}_{arm}"] = entry
+    return results
+
+
 ELASTICITY_SCALES = {
     # Hotspot creates riding through a mid-run join and leave.
     "full": {"total_ops": 4000, "inflight": 64, "num_servers": 4},
@@ -915,6 +1008,45 @@ def gate_regressions(
                 f"(allowed >= {1.0 - max_regression:.2f}x)"
             )
     return failures
+
+
+#: the sweep point the cache-effectiveness gate inspects: the stat
+#: hotspot with the fully provisioned cache, where a healthy cache must
+#: convert most probes into switch-served replies.
+CACHE_GATE_WORKLOAD = "switch_cache_hotspot_stat_large"
+
+
+def gate_cache_hit_rate(
+    path: str,
+    label: str,
+    min_hit_rate: float = 0.5,
+    workload: str = CACHE_GATE_WORKLOAD,
+) -> Optional[List[str]]:
+    """Check that *label*'s cache sweep achieved a minimum hit rate.
+
+    Unlike :func:`gate_regressions` this is an absolute functional gate,
+    not a relative wall-clock one: the hit rate on the hotspot workload
+    is a property of the protocol (deterministic virtual-time run), so a
+    drop means the cache datapath broke, not that the machine got slower.
+    Returns failure strings, ``[]`` on pass, or ``None`` when the entry
+    or workload is absent (callers warn and skip).
+    """
+    if not os.path.exists(path):
+        return None
+    data = load_trajectory(path, "e2e")
+    by_label = {e["label"]: e for e in data["history"]}
+    if label not in by_label:
+        return None
+    entry = by_label[label]["results"].get(workload)
+    if entry is None or "cache_hit_rate" not in entry:
+        return None
+    rate = entry["cache_hit_rate"]
+    if rate < min_hit_rate:
+        return [
+            f"e2e/{workload}: cache_hit_rate {rate:.3f} below the "
+            f"required minimum {min_hit_rate:.2f}"
+        ]
+    return []
 
 
 # ---------------------------------------------------------------------------

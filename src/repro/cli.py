@@ -61,6 +61,9 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cores", type=int, default=4,
                         help="cores per server (default: 4)")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--switch-cache", action="store_true",
+                        help="provision the in-switch dentry cache "
+                             "(applies to SwitchFS; baselines have no switch)")
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -83,8 +86,11 @@ def _population(args):
 
 
 def _build(args, system: Optional[str] = None):
+    # The dentry cache lives in the programmable switch, which only the
+    # SwitchFS datapath has; the knob is a no-op for baseline systems.
+    cache = getattr(args, "switch_cache", False) and (system or args.system) == "SwitchFS"
     config = scaled_config(num_servers=args.servers, cores_per_server=args.cores,
-                           seed=args.seed)
+                           seed=args.seed, switch_cache=cache)
     cluster = make_cluster(system or args.system, config)
     population = bootstrap(cluster, _population(args), warm_clients=[0])
     return cluster, population
@@ -125,16 +131,25 @@ def cmd_throughput(args) -> int:
         dir_choice="single" if args.dirs == 1 else "uniform",
     )
     result = run_stream(cluster, stream, total_ops=args.ops, inflight=args.inflight)
+    rows = [
+        ["throughput", f"{result.throughput_kops:,.1f} Kops/s"],
+        ["avg latency", f"{result.mean_latency_us:,.1f} us"],
+        ["p99 latency", f"{result.p99_latency_us():,.1f} us"],
+        ["simulated time", f"{result.sim_elapsed_us/1000:,.2f} ms"],
+        ["wall time", f"{result.wall_seconds:,.2f} s"],
+    ]
+    if result.switch_cache:
+        rows.append([
+            "switch cache",
+            f"{result.switch_cache_hit_rate:.1%} hit "
+            f"({result.switch_cache.get('hits', 0)} hit / "
+            f"{result.switch_cache.get('misses', 0)} miss / "
+            f"{result.switch_cache.get('evictions', 0)} evict)",
+        ])
     print_table(
         f"{args.system}: {args.op} x {args.ops} over {args.dirs} dir(s)",
         ["metric", "value"],
-        [
-            ["throughput", f"{result.throughput_kops:,.1f} Kops/s"],
-            ["avg latency", f"{result.mean_latency_us:,.1f} us"],
-            ["p99 latency", f"{result.p99_latency_us():,.1f} us"],
-            ["simulated time", f"{result.sim_elapsed_us/1000:,.2f} ms"],
-            ["wall time", f"{result.wall_seconds:,.2f} s"],
-        ],
+        rows,
     )
     return 0
 
@@ -150,8 +165,11 @@ def _compare_point(point: dict) -> List:
     )
     total = args.ops if system != "Ceph" else max(200, args.ops // 4)
     result = run_stream(cluster, stream, total_ops=total, inflight=args.inflight)
+    hit_rate = (
+        f"{result.switch_cache_hit_rate:.1%}" if result.switch_cache else "-"
+    )
     return [system, round(result.throughput_kops, 1),
-            round(result.mean_latency_us, 1)]
+            round(result.mean_latency_us, 1), hit_rate]
 
 
 def _compare_trajectories(labels: str, out_dir: Optional[str]) -> int:
@@ -208,7 +226,7 @@ def cmd_compare(args) -> int:
     print_table(
         f"compare: {args.op} over {args.dirs} dir(s), "
         f"{args.servers} servers x {args.cores} cores",
-        ["system", "Kops/s", "avg us"], rows,
+        ["system", "Kops/s", "avg us", "sw-cache hit"], rows,
     )
     return 0
 
@@ -226,6 +244,7 @@ def cmd_perf(args) -> int:
         bench_kernel,
         bench_rpc,
         bench_store,
+        bench_switch_cache,
         profile_suite,
         record_entry,
         write_profile,
@@ -340,14 +359,17 @@ def cmd_perf(args) -> int:
     if "e2e" in selected:
         def _e2e():
             out = bench_e2e(scale=scale)
+            out.update(bench_switch_cache(scale=scale))
             out.update(bench_elasticity(scale=scale))
             return out
 
         e2e = _run_suite("e2e", _e2e)
         print_table(
             f"end-to-end wall clock ({scale})",
-            ["benchmark", "ops/s wall", "wall s"],
-            [[name, f"{r['wall_ops_per_sec']:,.0f}", r["wall_seconds"]]
+            ["benchmark", "ops/s wall", "wall s", "sim Kops/s", "cache hit"],
+            [[name, f"{r['wall_ops_per_sec']:,.0f}", r["wall_seconds"],
+              f"{r['sim_throughput_kops']:,.1f}" if "sim_throughput_kops" in r else "-",
+              f"{r['cache_hit_rate']:.1%}" if r.get("cache_hit_rate") else "-"]
              for name, r in e2e.items()],
         )
         if not args.no_record:

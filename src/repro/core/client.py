@@ -21,12 +21,12 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..net import RpcError, RpcNode, StaleSetHeader, StaleSetOp
 from ..net.topology import Network
-from ..sim import Counter, Simulator
+from ..sim import Counter, LatencyRecorder, Simulator
 from .clustermap import ClusterMap
 from .config import FSConfig
 from .errors import EINVALIDPATH, ENOENT, EWRONGEPOCH, FSError, fs_error
 from .membership import MembershipView
-from .schema import ROOT_ID, fingerprint_of, root_inode
+from .schema import ROOT_ID, file_cache_fingerprint, fingerprint_of, root_inode
 
 __all__ = ["LibFS", "ResolvedDir"]
 
@@ -79,6 +79,11 @@ class LibFS:
         self._view: MembershipView = cmap.view
         self.node = RpcNode(sim, net, addr)
         self.counters = Counter()
+        # In-switch dentry cache (DESIGN.md §15): when enabled, lookups
+        # and stats carry a LOOKUP header and switch-served replies land
+        # in their own latency bucket ("switch_hit" vs "switch_miss").
+        self._switch_cache = config.switch_cache and config.stale_backend == "switch"
+        self.switch_latency = LatencyRecorder()
         root = root_inode()
         self._root = ResolvedDir(
             id=root.id,
@@ -113,11 +118,22 @@ class LibFS:
         parent = yield from self.resolve_dir(parent_path)
         fp = fingerprint_of(parent.id, name)
         owner = self._view.dir_owner_by_fp(fp)
+        make_header = None
+        if self._switch_cache:
+            make_header = lambda attempt_no: StaleSetHeader(  # noqa: E731
+                op=StaleSetOp.LOOKUP, fingerprint=fp
+            )
+        t0 = self.sim.now
         try:
-            value, _ = yield from self._call(owner, "lookup_dir", {"pid": parent.id, "name": name})
+            value, pkt = yield from self._call(
+                owner, "lookup_dir", {"pid": parent.id, "name": name},
+                make_header=make_header,
+            )
         except FSError:
             raise
-        value = value  # {"id", "fingerprint", "perm"}
+        if make_header is not None:
+            self._note_switch_reply(pkt, self.sim.now - t0)
+        # value: {"id", "fingerprint", "perm"}
         resolved = ResolvedDir(
             id=value["id"],
             fingerprint=value["fingerprint"],
@@ -292,11 +308,19 @@ class LibFS:
                     "path": path,
                 }
                 yield sim.timeout(perf.client_cpu_us)
+                make_header = None
+                if self._switch_cache and method != "close":
+                    fp = file_cache_fingerprint(parent.id, name)
+                    make_header = lambda attempt_no: StaleSetHeader(  # noqa: E731
+                        op=StaleSetOp.LOOKUP, fingerprint=fp
+                    )
+                t0 = sim.now
                 try:
-                    value, _ = yield from self.node.call(
+                    value, pkt = yield from self.node.call(
                         owner,
                         method,
                         args,
+                        make_header=make_header,
                         timeout_us=perf.rpc_timeout_us,
                         max_attempts=perf.rpc_max_attempts,
                     )
@@ -304,6 +328,8 @@ class LibFS:
                     raise
                 except RpcError as exc:
                     raise fs_error(str(exc)) from exc
+                if make_header is not None:
+                    self._note_switch_reply(pkt, sim.now - t0)
                 return value
             except FSError as exc:
                 if exc.code == EINVALIDPATH and invalid_left > 0:
@@ -317,6 +343,26 @@ class LibFS:
                     yield from self._refresh_view()
                     continue
                 raise
+
+    def _note_switch_reply(self, packet, elapsed_us: float) -> None:
+        """Bucket a LOOKUP-headed call by who answered it.
+
+        A switch-served reply carries the LOOKUP header back with
+        RET == 1; a server-served (cache-miss) reply carries a FILL
+        header instead.  Counted + recorded separately so cache efficacy
+        shows up next to the queue/cpu/lock/net breakdowns.
+        """
+        if (
+            packet is not None
+            and packet.header is not None
+            and packet.header.op == StaleSetOp.LOOKUP
+            and packet.header.ret == 1
+        ):
+            self.counters.inc("switch_cache_hits")
+            self.switch_latency.record(elapsed_us, "switch_hit")
+        else:
+            self.counters.inc("switch_cache_misses")
+            self.switch_latency.record(elapsed_us, "switch_miss")
 
     def statdir(self, path: str) -> Generator:
         return self._dir_read("statdir", path)

@@ -28,7 +28,12 @@ from ..net import (
     single_rack_path,
 )
 from ..sim import AllOf, Simulator
-from ..switchfab import ProgrammableSwitch, StaleSetConfig, SwitchControlPlane
+from ..switchfab import (
+    DentryCacheConfig,
+    ProgrammableSwitch,
+    StaleSetConfig,
+    SwitchControlPlane,
+)
 from .client import LibFS
 from .clustermap import ClusterMap
 from .config import FSConfig
@@ -66,6 +71,14 @@ class SwitchFSCluster:
                     num_stages=config.stale_stages, index_bits=config.stale_index_bits
                 ),
                 latency_us=config.perf.switch_latency_us,
+                cache_config=(
+                    DentryCacheConfig(
+                        num_stages=config.switch_cache_stages,
+                        index_bits=config.switch_cache_index_bits,
+                    )
+                    if config.switch_cache
+                    else None
+                ),
             )
             # Bound to the bootstrap *view*, not the live map: routes are
             # an epoch snapshot the control plane reprograms explicitly at
@@ -321,9 +334,14 @@ class SwitchFSCluster:
             servers=servers, shard_table=shard_table
         )
         if self.control is not None:
+            # apply_epoch reprograms routes *and* flushes the primary
+            # spine's dentry cache; secondary spines get the same pair of
+            # updates here (cached replies may name outgoing-epoch owners).
             self.control.apply_epoch(new_view)
             for spine in self.spines[1:]:
                 spine.install_fingerprint_owner(new_view.dir_owner_by_fp)
+                if spine.cache_enabled:
+                    spine.flush_cache()
             if len(self.spines) <= 1:
                 # Reclaim stale-set bits for groups that are provably
                 # settled: zero staged entries anywhere and zero drained

@@ -99,6 +99,13 @@ class FSConfig:
     stale_stages: int = 10
     stale_index_bits: int = 10
 
+    # In-switch hot-dentry cache (Fletch-style, DESIGN.md §15).  Off by
+    # default: the write-path sim values are bit-identical to a build
+    # without the cache when disabled (pinned-fig11 guards this).
+    switch_cache: bool = False
+    switch_cache_stages: int = 4
+    switch_cache_index_bits: int = 10
+
     # Proactive aggregation (§4.3).
     proactive_push_entries: int = 29       # change-log entries per MTU
     proactive_idle_push_us: float = 5_000.0   # push if log idle this long
@@ -132,6 +139,12 @@ class FSConfig:
             raise ValueError("proactive_push_entries must be >= 1")
         if self.shards_per_server < 1:
             raise ValueError("shards_per_server must be >= 1")
+        if self.switch_cache and self.stale_backend != "switch":
+            raise ValueError("switch_cache requires stale_backend='switch'")
+        if self.switch_cache_stages < 1:
+            raise ValueError("switch_cache_stages must be >= 1")
+        if not 1 <= self.switch_cache_index_bits <= 16:
+            raise ValueError("switch_cache_index_bits out of range")
 
     def server_addr(self, idx: int) -> str:
         if not 0 <= idx < self.num_servers:

@@ -38,6 +38,7 @@ __all__ = [
     "file_meta_key",
     "new_dir_id",
     "fingerprint_of",
+    "file_cache_fingerprint",
     "owner_of_file",
     "owner_of_dir",
     "file_shard_of",
@@ -79,6 +80,22 @@ def fingerprint_of(pid: int, name: str) -> int:
     fingerprint once per operation.
     """
     fp = _h256("fp", pid, name) & ((1 << FINGERPRINT_BITS) - 1)
+    if fp & _TAG_MASK == 0:
+        fp |= 1
+    return fp
+
+
+@lru_cache(maxsize=1 << 16)
+def file_cache_fingerprint(pid: int, name: str) -> int:
+    """The 49-bit dentry-cache key for file *name* under parent *pid*.
+
+    Stat/open results live in the in-switch hot-dentry cache keyed by
+    this fingerprint; a **distinct salt** from :func:`fingerprint_of`
+    keeps a file and a subdirectory with the same (pid, name) from
+    colliding onto one cache line.  Tag 0 is remapped exactly as for
+    directory fingerprints (register value 0 means "empty").
+    """
+    fp = _h256("file-cache", pid, name) & ((1 << FINGERPRINT_BITS) - 1)
     if fp & _TAG_MASK == 0:
         fp |= 1
     return fp

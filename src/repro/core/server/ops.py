@@ -29,6 +29,7 @@ from ..schema import (
     DirInode,
     FileInode,
     dir_meta_key,
+    file_cache_fingerprint,
     file_meta_key,
     fingerprint_of,
     new_dir_id,
@@ -144,6 +145,10 @@ class ServerOps:
                 self.kv.put(key, inode)
             else:
                 self.kv.delete(key)
+            # Evict before the reply departs: per-fp FIFO then orders any
+            # stale in-flight FILL ahead of this EVICT at the switch.
+            if self.config.switch_cache:
+                self._send_cache_evict(file_cache_fingerprint(pid, name))
 
             entry = ChangeLogEntry(
                 timestamp=now,
@@ -203,6 +208,7 @@ class ServerOps:
             yield from self._cpu(self.perf.kv_put_us)
             self.kv.put(key, inode)
             self._dir_index[inode.id] = key
+            self._send_cache_evict(inode.fingerprint)
 
             entry = ChangeLogEntry(
                 timestamp=now, op=ChangeOp.MKDIR, name=name, is_dir=True,
@@ -298,6 +304,7 @@ class ServerOps:
             yield from self._cpu(self.perf.kv_put_us)
             self.kv.delete(key)
             self._dir_index.pop(dir_id, None)
+            self._send_cache_evict(fp)
 
             entry = ChangeLogEntry(timestamp=now, op=ChangeOp.RMDIR, name=name, is_dir=True)
             if self.config.async_updates:
@@ -542,6 +549,26 @@ class ServerOps:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _send_cache_evict(self, fp: int) -> None:
+        """Invalidate the in-switch dentry-cache line for *fp* (DESIGN.md §15).
+
+        Called immediately after the kv mutation, **before** the op's
+        reply departs: all stale-set traffic for one fingerprint takes
+        the same switch, so any stale in-flight FILL (sent by a read that
+        serialized before this mutation) reaches the switch before this
+        EVICT does.  The EVICT packet is consumed at the switch — the
+        self-address only gives the topology a routable destination.
+        """
+        if not self.config.switch_cache:
+            return
+        self.counters.inc("cache_evicts_sent")
+        self.node.notify(
+            self.addr,
+            "cache_evict",
+            None,
+            header=StaleSetHeader(op=StaleSetOp.EVICT, fingerprint=fp),
+        )
+
     def _check_valid(self, args: Dict[str, Any]) -> None:
         """Server-side validation check (step 3a)."""
         if not self.inval.validate(args.get("ancestor_ids", ())):

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from ...net import Packet, RpcRequest
+from ...net import Packet, Reply, RpcRequest, StaleSetHeader, StaleSetOp
 from ..errors import ENOENT, FSError
 from ..schema import dir_meta_key, file_meta_key, fingerprint_of
 
@@ -113,17 +113,17 @@ class ReadOps:
     # Plain functions returning the workflow generator: one less frame on
     # every resume (`_serve` drives the returned generator directly).
     def _handle_stat(self, request: RpcRequest, packet: Packet) -> Generator:
-        return self._read_file_inode(request)
+        return self._read_file_inode(request, packet)
 
     def _handle_open(self, request: RpcRequest, packet: Packet) -> Generator:
-        return self._read_file_inode(request)
+        return self._read_file_inode(request, packet)
 
     def _handle_close(self, request: RpcRequest, packet: Packet) -> Generator:
         yield from self._wait_recovered()
         yield from self._cpu(self.perf.path_check_us)
         return {"status": "ok"}
 
-    def _read_file_inode(self, request: RpcRequest) -> Generator:
+    def _read_file_inode(self, request: RpcRequest, packet: Packet) -> Generator:
         args = request.args
         pid, name = args["pid"], args["name"]
         perf = self.perf
@@ -140,13 +140,26 @@ class ReadOps:
             inode = self.kv.get_or_none(key)
             if inode is None:
                 raise FSError(ENOENT, f"{pid}/{name}")
-            return {
+            value = {
                 "pid": inode.pid,
                 "name": inode.name,
                 "perm": inode.perm,
                 "size": inode.size,
                 "mtime": inode.mtime,
             }
+            # A LOOKUP-headed request asked the dentry cache first and
+            # missed: attach a FILL so the switch installs the reply on
+            # the return path.  No yield separates the kv read above from
+            # the reply send in _serve, so the filled line is exactly the
+            # value this read returned (DESIGN.md §15 invariant I1).
+            if packet.header is not None and packet.header.op == StaleSetOp.LOOKUP:
+                return Reply(
+                    value=value,
+                    header=StaleSetHeader(
+                        op=StaleSetOp.FILL, fingerprint=packet.header.fingerprint
+                    ),
+                )
+            return value
         finally:
             lock.release_read()
 
@@ -160,7 +173,17 @@ class ReadOps:
         inode = self.kv.get_or_none(dir_meta_key(pid, name))
         if inode is None:
             raise FSError(ENOENT, f"{pid}/{name}")
-        return {"id": inode.id, "fingerprint": inode.fingerprint, "perm": inode.perm}
+        value = {"id": inode.id, "fingerprint": inode.fingerprint, "perm": inode.perm}
+        # Cache-miss fill on the return path (same invariant as
+        # _read_file_inode: kv read and reply send are one atomic step).
+        if packet.header is not None and packet.header.op == StaleSetOp.LOOKUP:
+            return Reply(
+                value=value,
+                header=StaleSetHeader(
+                    op=StaleSetOp.FILL, fingerprint=packet.header.fingerprint
+                ),
+            )
+        return value
 
     def _handle_get_membership(self, request: RpcRequest, packet: Packet) -> Generator:
         """Serve the current membership view (epoch refresh protocol).

@@ -14,7 +14,7 @@ from ...net import Packet, RpcRequest
 from ...sim import AllOf
 from ..changelog import ChangeLogEntry, ChangeOp
 from ..errors import EWRONGEPOCH, FSError
-from ..schema import fingerprint_of
+from ..schema import file_cache_fingerprint, fingerprint_of
 
 __all__ = ["RenameParticipant"]
 
@@ -112,6 +112,17 @@ class RenameParticipant:
             elif kind == "delete":
                 txn.delete(tuple(key))
         txn.commit()
+        # Dentry-cache eviction per mutated inode key, right after the
+        # commit and before any reply departs (same ordering argument as
+        # ops.py's mutation sites): both the old and the new (pid, name)
+        # may be cached, and each committed op names exactly one of them.
+        if self.config.switch_cache:
+            for op in args["ops"]:
+                key = op[1]
+                if key[0] == "D":
+                    self._send_cache_evict(fingerprint_of(key[1], key[2]))
+                elif key[0] == "F":
+                    self._send_cache_evict(file_cache_fingerprint(key[1], key[2]))
         # Deferred parent updates (file renames, async mode): appended via
         # a self-RPC whose response performs the stale-set INSERT.  The
         # commit completes only once the parents are marked scattered, so

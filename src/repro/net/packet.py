@@ -69,12 +69,23 @@ HEADER_STRUCT = struct.Struct("!BBIQ")
 
 
 class StaleSetOp(enum.IntEnum):
-    """Stale-set operation requested from the switch data plane."""
+    """Switch data-plane operation requested by the header.
+
+    ``NONE``..``REMOVE`` drive the stale set (§4.4).  ``LOOKUP``,
+    ``FILL``, and ``EVICT`` drive the optional in-switch hot-dentry
+    cache (Fletch-style, DESIGN.md §15): a ``LOOKUP`` request may be
+    answered by the switch itself, a ``FILL`` reply installs a cache
+    line on the return path, and an ``EVICT`` invalidates a line after
+    a server-side mutation.
+    """
 
     NONE = 0
     INSERT = 1
     QUERY = 2
     REMOVE = 3
+    LOOKUP = 4
+    FILL = 5
+    EVICT = 6
 
 
 class StaleSetHeader:

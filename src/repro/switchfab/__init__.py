@@ -1,6 +1,7 @@
-"""Programmable-switch data plane: register stages, stale set, and device."""
+"""Programmable-switch data plane: register stages, stale set, dentry cache, device."""
 
 from .control import SwitchControlPlane, SwitchStats
+from .dentry_cache import DentryCache, DentryCacheConfig
 from .pipeline import RegisterStage
 from .stale_set import StaleSet, StaleSetConfig
 from .switch import ProgrammableSwitch
@@ -9,6 +10,8 @@ __all__ = [
     "RegisterStage",
     "StaleSet",
     "StaleSetConfig",
+    "DentryCache",
+    "DentryCacheConfig",
     "ProgrammableSwitch",
     "SwitchControlPlane",
     "SwitchStats",

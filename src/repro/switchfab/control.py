@@ -18,7 +18,12 @@ __all__ = ["SwitchControlPlane", "SwitchStats"]
 
 @dataclass(frozen=True)
 class SwitchStats:
-    """Point-in-time data-plane statistics."""
+    """Point-in-time data-plane statistics.
+
+    The ``cache_*`` fields cover the optional hot-dentry cache and stay
+    zero when it is not provisioned (``cache_capacity == 0`` then
+    distinguishes "disabled" from "enabled but cold").
+    """
 
     occupancy: int
     capacity: int
@@ -31,10 +36,21 @@ class SwitchStats:
     multicasts: int
     redirects: int
     mirrored: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_fills: int = 0
+    cache_evictions: int = 0
+    cache_occupancy: int = 0
+    cache_capacity: int = 0
 
     @property
     def load_factor(self) -> float:
         return self.occupancy / self.capacity if self.capacity else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        probes = self.cache_hits + self.cache_misses
+        return self.cache_hits / probes if probes else 0.0
 
 
 class SwitchControlPlane:
@@ -60,8 +76,14 @@ class SwitchControlPlane:
         migration sources unblock: stale-set bits are fingerprint-keyed
         and ownership-agnostic, so the bits themselves need no rewrite —
         the routes are the only switch state that encodes ownership.
+
+        The dentry cache, by contrast, holds whole replies that may name
+        owners from the outgoing epoch, so its lines are flushed at
+        cutover (DESIGN.md §15) — a cold cache is always safe.
         """
         self.switch.install_fingerprint_owner(view.dir_owner_by_fp)
+        if self.switch.cache_enabled:
+            self.switch.flush_cache()
         self.epoch = view.epoch
         self.epoch_installs += 1
 
@@ -103,6 +125,7 @@ class SwitchControlPlane:
     def stats(self) -> SwitchStats:
         sw = self.switch
         pipes = [sw.pipe(i) for i in range(sw.num_pipes)]
+        caches = sw.caches()
         return SwitchStats(
             occupancy=sw.occupancy,
             capacity=sum(p.config.capacity for p in pipes),
@@ -115,6 +138,12 @@ class SwitchControlPlane:
             multicasts=sw.multicasts,
             redirects=sw.redirects,
             mirrored=sw.mirrored,
+            cache_hits=sum(c.hits for c in caches),
+            cache_misses=sum(c.misses for c in caches),
+            cache_fills=sum(c.fills for c in caches),
+            cache_evictions=sum(c.evictions for c in caches),
+            cache_occupancy=sw.cache_occupancy,
+            cache_capacity=sw.cache_capacity,
         )
 
     def per_pipe_occupancy(self) -> Dict[int, int]:

@@ -23,7 +23,7 @@ Operations (executed as a sequence of register actions, one per stage):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..net.packet import FINGERPRINT_BITS
 from .pipeline import RegisterStage
@@ -80,7 +80,7 @@ class StaleSet:
         self.queries = 0
 
     # -- fingerprint split -----------------------------------------------------
-    def split(self, fingerprint: int) -> (int, int):
+    def split(self, fingerprint: int) -> Tuple[int, int]:
         """Decompose a 49-bit fingerprint into (stage index, 32-bit tag).
 
         Validates once for a whole pipeline pass; the per-stage register

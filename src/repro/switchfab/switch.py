@@ -24,6 +24,20 @@ Behaviour per stale-set op:
   server for synchronous fallback.
 * ``REMOVE`` — executed through the per-source SEQ duplicate filter;
   forwarded to the original destination either way.
+
+With a :class:`~repro.switchfab.dentry_cache.DentryCache` provisioned
+(``cache_config``), three more ops are handled (DESIGN.md §15):
+
+* ``LOOKUP`` — on a cache hit the switch **fabricates the RPC reply**
+  (RET := 1, destination rewritten back to the requesting client) and
+  consumes the request: the server is never touched.  On a miss the
+  request forwards unchanged, so the server sees the ``LOOKUP`` header
+  and attaches a ``FILL`` to its reply.
+* ``FILL`` — a successful server reply installs a cache line on its way
+  back to the client; the reply forwards unchanged.
+* ``EVICT`` — invalidates any matching line and is **consumed** (the
+  switch is the packet's real destination).  Stale-set ``INSERT`` s also
+  evict the matching line, coupling the cache to the coherence machinery.
 """
 
 from __future__ import annotations
@@ -31,6 +45,8 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ..net.packet import Packet, StaleSetHeader, StaleSetOp, STALESET_PORT, FINGERPRINT_BITS
+from ..net.rpc import RpcResponse
+from .dentry_cache import DentryCache, DentryCacheConfig
 from .stale_set import StaleSet, StaleSetConfig
 
 __all__ = ["ProgrammableSwitch"]
@@ -46,6 +62,7 @@ class ProgrammableSwitch:
         latency_us: float = 0.05,
         fingerprint_owner: Optional[Callable[[int], str]] = None,
         pipe_of_host: Optional[Callable[[str], int]] = None,
+        cache_config: Optional[DentryCacheConfig] = None,
     ):
         if num_pipes < 1 or (num_pipes & (num_pipes - 1)) != 0:
             raise ValueError(f"num_pipes must be a power of two, got {num_pipes}")
@@ -54,6 +71,10 @@ class ProgrammableSwitch:
         self._pipe_bits = num_pipes.bit_length() - 1
         self._pipes: List[StaleSet] = [
             StaleSet(stale_config) for _ in range(num_pipes)
+        ]
+        self._caches: List[Optional[DentryCache]] = [
+            DentryCache(cache_config) if cache_config is not None else None
+            for _ in range(num_pipes)
         ]
         self._fingerprint_owner = fingerprint_owner
         self._pipe_of_host = pipe_of_host or (lambda host: hash(host) % num_pipes)
@@ -64,6 +85,8 @@ class ProgrammableSwitch:
         self.forwarded = 0
         self.multicasts = 0
         self.redirects = 0
+        self.cache_replies = 0
+        self.cache_flushes = 0
 
     # -- control plane hooks -------------------------------------------------
     def install_fingerprint_owner(self, fn: Callable[[int], str]) -> None:
@@ -71,19 +94,57 @@ class ProgrammableSwitch:
         self._fingerprint_owner = fn
 
     def reset(self) -> None:
-        """Switch failure: all data-plane state is lost (§4.4.2)."""
+        """Switch failure: all data-plane state is lost (§4.4.2).
+
+        The dentry cache cold-starts with the stale set — a rebooted
+        switch serves no hits until ``FILL`` replies repopulate it.
+        """
         for pipe in self._pipes:
             pipe.reset()
+        for cache in self._caches:
+            if cache is not None:
+                cache.reset()
+
+    def flush_cache(self) -> None:
+        """Drop every dentry-cache line (epoch cutover, DESIGN.md §15).
+
+        Unlike :meth:`reset` this preserves the stale set: migration
+        reconciles the stale set explicitly, but cached replies may name
+        owners from the outgoing epoch and are simply invalidated.
+        """
+        for cache in self._caches:
+            if cache is not None:
+                cache.reset()
+        self.cache_flushes += 1
 
     @property
     def occupancy(self) -> int:
         return sum(p.occupancy for p in self._pipes)
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._caches[0] is not None
+
+    @property
+    def cache_occupancy(self) -> int:
+        return sum(c.occupancy for c in self._caches if c is not None)
+
+    @property
+    def cache_capacity(self) -> int:
+        return sum(c.capacity for c in self._caches if c is not None)
 
     def pipe(self, idx: int) -> StaleSet:
         return self._pipes[idx]
 
     def stale_set_for(self, fingerprint: int) -> StaleSet:
         return self._pipes[self._pipe_index(fingerprint)]
+
+    def dentry_cache_for(self, fingerprint: int) -> Optional[DentryCache]:
+        return self._caches[self._pipe_index(fingerprint)]
+
+    def caches(self) -> List[DentryCache]:
+        """The provisioned per-pipe dentry caches (empty when disabled)."""
+        return [c for c in self._caches if c is not None]
 
     def _pipe_index(self, fingerprint: int) -> int:
         if self.num_pipes == 1:
@@ -113,7 +174,55 @@ class ProgrammableSwitch:
             self.forwarded += 1
             return [packet.clone(header=header.with_ret(1 if present else 0))]
 
+        if header.op == StaleSetOp.LOOKUP:
+            dentry_cache = self._caches[pipe_idx]
+            if dentry_cache is not None:
+                value = dentry_cache.lookup(header.fingerprint)
+                if value is not None:
+                    # Hit: fabricate the RPC reply at the switch and turn
+                    # the packet around — the server is never touched.
+                    # RET := 1 marks the reply as switch-served so the
+                    # client can bucket its latency separately.
+                    self.cache_replies += 1
+                    response = RpcResponse(rpc_id=packet.payload.rpc_id, value=value)
+                    return [
+                        packet.clone(
+                            dst=packet.src, payload=response, header=header.with_ret(1)
+                        )
+                    ]
+            # Miss (or cache not provisioned): the request proceeds to the
+            # server, which sees the LOOKUP header and attaches a FILL.
+            self.forwarded += 1
+            return [packet]
+
+        if header.op == StaleSetOp.FILL:
+            dentry_cache = self._caches[pipe_idx]
+            payload = packet.payload
+            if (
+                dentry_cache is not None
+                and isinstance(payload, RpcResponse)
+                and payload.error is None
+            ):
+                # Opportunistic fill on the return path; error replies are
+                # never cached (a later retry may succeed).
+                dentry_cache.fill(header.fingerprint, payload.value)
+            self.forwarded += 1
+            return [packet]
+
+        if header.op == StaleSetOp.EVICT:
+            dentry_cache = self._caches[pipe_idx]
+            if dentry_cache is not None:
+                dentry_cache.invalidate(header.fingerprint)
+            # The switch is the EVICT's real destination: consume it.
+            return []
+
         if header.op == StaleSetOp.INSERT:
+            dentry_cache = self._caches[pipe_idx]
+            if dentry_cache is not None:
+                # Stale-set-coupled eviction (DESIGN.md §15): a directory
+                # going scattered drops its cached lookup line even before
+                # any explicit EVICT arrives.
+                dentry_cache.invalidate(header.fingerprint)
             ok = stale_set.insert(header.fingerprint)
             if ok:
                 out = packet.clone(header=header.with_ret(1))
