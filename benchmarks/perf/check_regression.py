@@ -32,6 +32,7 @@ from repro.bench.perf import (  # noqa: E402
     CACHE_GATE_WORKLOAD,
     SUITE_RATE_KEYS,
     gate_cache_hit_rate,
+    gate_fanin_wall_growth,
     gate_regressions,
 )
 
@@ -49,6 +50,10 @@ def main(argv=None) -> int:
     parser.add_argument("--min-cache-hit-rate", type=float, default=0.5,
                         help="required in-switch dentry-cache hit rate on the "
                              "hotspot sweep point (default 0.5; 0 disables)")
+    parser.add_argument("--max-fanin-wall-growth", type=float, default=1.5,
+                        help="allowed fan-in wall-cost ratio between the 10K- "
+                             "and 100K-user arms at the same offered load "
+                             "(default 1.5; 0 disables)")
     args = parser.parse_args(argv)
 
     if os.environ.get("REPRO_PERF_GATE_SKIP", "") not in ("", "0"):
@@ -88,6 +93,23 @@ def main(argv=None) -> int:
         else:
             print(f"perf gate: cache-hit-rate: ok "
                   f"(>= {args.min_cache_hit_rate:.0%} on {CACHE_GATE_WORKLOAD})")
+
+    # Absolute fan-in flatness gate: the 10K- and 100K-user arms ran the
+    # same offered load in the same process, so their wall ratio is an
+    # engine property — growth means the per-op path picked up an
+    # O(users) term (DESIGN.md §16).
+    if args.max_fanin_wall_growth > 0:
+        path = os.path.join(args.dir, "BENCH_e2e.json")
+        result = gate_fanin_wall_growth(
+            path, args.label, max_growth=args.max_fanin_wall_growth)
+        if result is None:
+            print(f"perf gate: fanin-wall-growth: no fan-in arms recorded "
+                  f"for {args.label!r} — skipped")
+        elif result:
+            failures.extend(result)
+        else:
+            print(f"perf gate: fanin-wall-growth: ok (10K -> 100K users "
+                  f"within {args.max_fanin_wall_growth:.2f}x wall)")
 
     if failures:
         print(f"perf gate: {len(failures)} regression(s):", file=sys.stderr)

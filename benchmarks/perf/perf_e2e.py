@@ -21,6 +21,7 @@ if os.path.isdir(os.path.join(REPO_ROOT, "src", "repro")):
 from repro.bench.perf import (  # noqa: E402
     bench_e2e,
     bench_elasticity,
+    bench_fanin,
     bench_switch_cache,
     record_entry,
 )
@@ -42,6 +43,7 @@ def main(argv=None) -> int:
     results = bench_e2e(scale=scale, repeats=args.repeats)
     results.update(bench_switch_cache(scale=scale))
     results.update(bench_elasticity(scale=scale))
+    results.update(bench_fanin(scale=scale))
     print(json.dumps(results, indent=2))
     if not args.no_record:
         record_entry(args.out, "e2e", results, label=args.label, scale=scale)

@@ -81,7 +81,12 @@ _RECYCLERS = {"recycle_packet", "recycle_header"}
 
 # RL006 — hot-path scopes where instance allocation sits on the op path.
 _RL006_HOT_DIR_PAIRS = (("core", "server"), ("repro", "net"))
-_RL006_HOT_SUFFIXES = ("sim/kernel.py", "sim/resources.py")
+_RL006_HOT_SUFFIXES = (
+    "sim/kernel.py",
+    "sim/resources.py",
+    "sim/rand.py",
+    "workloads/clientpop.py",
+)
 # Base-class names that exempt a class: exception hierarchies (instances
 # are off the hot path) and enums (the metaclass owns the layout).
 _RL006_EXC_BASES_RE = re.compile(r"(Error|Exception|Interrupt|Enum)$")

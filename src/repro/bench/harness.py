@@ -15,7 +15,7 @@ from __future__ import annotations
 import gc
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence
 
 from ..core.cluster import SwitchFSCluster
 from ..sim import AllOf, LatencyRecorder, PhaseStats
@@ -44,6 +44,11 @@ class RunResult:
     # per-call latency split lives in the recorder's "switch_hit" /
     # "switch_miss" buckets.
     switch_cache: Dict[str, int] = field(default_factory=dict)
+    # Per-population fan-in summaries (users, offered vs achieved load,
+    # percentiles, epoch catch-ups) from the open-loop client-population
+    # engine; empty for closed-loop runs.  The raw per-population samples
+    # live in the recorder's "pop<i>" buckets.
+    populations: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def phase_mean_us(self, phase: str) -> float:
         """Per-op mean time spent in *phase* across the whole cluster."""

@@ -57,6 +57,8 @@ __all__ = [
     "bench_e2e",
     "bench_switch_cache",
     "bench_elasticity",
+    "bench_fanin",
+    "FANIN_SCALES",
     "record_entry",
     "load_trajectory",
     "compare_rates",
@@ -66,6 +68,7 @@ __all__ = [
     "gate_regressions",
     "CACHE_GATE_WORKLOAD",
     "gate_cache_hit_rate",
+    "gate_fanin_wall_growth",
 ]
 
 SCHEMA_VERSION = 1
@@ -165,6 +168,43 @@ def spawn_churn(count: int) -> Tuple[int, float]:
     return _timed(run)
 
 
+def weighted_sampling(universe: int, samples: int) -> Tuple[int, float]:
+    """O(1) alias-table sampling over a Zipf weight vector.
+
+    The measured rate is the precomputed :class:`~repro.sim.AliasTable`
+    path the workload generators and the client-population engine use
+    per op; the entry also records the legacy ``weighted_choice`` linear
+    scan over the same vector (``linear_events_per_sec``) so the win is
+    visible in one row.  Table construction is outside the timed region —
+    it is paid once per stream, not per op.
+    """
+    from ..sim import AliasTable, make_rng, weighted_choice, zipf_weights
+
+    weights = zipf_weights(universe, 0.99)
+    items = list(range(universe))
+    table = AliasTable(weights)
+
+    rng = make_rng(7, "alias-bench")
+    sample = table.sample
+    t0 = time.perf_counter()
+    for _ in range(samples):
+        sample(rng)
+    alias_wall = time.perf_counter() - t0
+
+    rng = make_rng(7, "alias-bench")
+    # The linear scan is O(universe) per draw; cap its sample count so
+    # the comparison column costs bounded time at any universe size.
+    linear_samples = min(samples, max(1, samples // max(1, universe // 64)))
+    t0 = time.perf_counter()
+    for _ in range(linear_samples):
+        weighted_choice(items, weights, rng)
+    linear_wall = time.perf_counter() - t0
+    weighted_sampling.last_linear_rate = (
+        round(linear_samples / linear_wall, 1) if linear_wall > 0 else float("inf")
+    )
+    return samples, alias_wall
+
+
 def uncontended_handoff(rounds: int) -> Tuple[int, float]:
     """Lock acquire/release and store put/get with no contention.
 
@@ -211,6 +251,10 @@ KERNEL_WORKLOADS: Dict[str, Dict[str, Dict[str, int]]] = {
         "full": {"rounds": 60_000},
         "tiny": {"rounds": 2_000},
     },
+    "weighted_sampling": {
+        "full": {"universe": 4_096, "samples": 400_000},
+        "tiny": {"universe": 512, "samples": 20_000},
+    },
 }
 
 _KERNEL_FNS: Dict[str, Callable[..., Tuple[int, float]]] = {
@@ -218,6 +262,7 @@ _KERNEL_FNS: Dict[str, Callable[..., Tuple[int, float]]] = {
     "timeout_storm": timeout_storm,
     "spawn_churn": spawn_churn,
     "uncontended_handoff": uncontended_handoff,
+    "weighted_sampling": weighted_sampling,
 }
 
 
@@ -238,6 +283,12 @@ def bench_kernel(scale: str = "full", repeats: int = 3) -> Dict[str, Dict[str, f
             "wall_seconds": round(wall, 6),
             "events_per_sec": round(events / wall, 1) if wall > 0 else float("inf"),
         }
+        if name == "weighted_sampling":
+            # Context column: the O(n) linear-scan rate over the same
+            # weights, so the alias-table win reads off the entry.
+            results[name]["linear_events_per_sec"] = getattr(
+                weighted_sampling, "last_linear_rate", 0.0
+            )
     return results
 
 
@@ -700,6 +751,145 @@ def bench_e2e(scale: str = "full", repeats: int = 1) -> Dict[str, Dict[str, floa
     return {"fig11_hotspot_create": best}
 
 
+FANIN_SCALES = {
+    # Fan-in scaling curve for the open-loop client-population engine
+    # (DESIGN.md §16): the logical user count sweeps an order of magnitude
+    # or three while the *offered load* stays fixed, so flat wall cost
+    # across the arms is the claim under test — the engine's run cost is
+    # O(offered load), not O(users).  The O(users) work (user table +
+    # alias build) is reported separately as ``setup_wall_seconds``.
+    "full": {
+        "total_ops": 4000,
+        "num_servers": 8,
+        "files": 512,
+        "users": [10_000, 100_000, 1_000_000],
+        "offered_load_ops": 200_000.0,
+        "aggregates": 4,
+    },
+    "tiny": {
+        "total_ops": 240,
+        "num_servers": 2,
+        "files": 48,
+        "users": [10_000, 100_000],
+        "offered_load_ops": 100_000.0,
+        "aggregates": 2,
+    },
+}
+
+
+def _fanin_arm_name(users: int) -> str:
+    if users >= 1_000_000 and users % 1_000_000 == 0:
+        return f"fanin_{users // 1_000_000}m_users"
+    if users >= 1_000 and users % 1_000 == 0:
+        return f"fanin_{users // 1_000}k_users"
+    return f"fanin_{users}_users"
+
+
+def bench_fanin(scale: str = "full", repeats: int = 2) -> Dict[str, Dict[str, Any]]:
+    """Open-loop fan-in curve: wall cost vs user count at fixed load.
+
+    One arm per population size in :data:`FANIN_SCALES` (a stat hotspot
+    over a warm directory, Zipf-weighted users multiplexed over a few
+    aggregate processes), plus a ``fanin_scaleup`` arm at the largest
+    population where a server joins mid-run — exercising the per-user
+    cache-epoch catch-up path at full fan-in.  Entries keep the e2e
+    suite's ``wall_ops_per_sec`` rate key; ``setup_wall_seconds`` carries
+    the O(users) table build so the gated run cost stays load-bound.
+    Each arm reports the best (min-wall) of *repeats* runs — the
+    10K-vs-100K wall ratio feeds an absolute CI gate, so per-arm noise
+    matters more here than in the other e2e points.
+    """
+    from ..workloads import (
+        FixedOpStream,
+        bootstrap,
+        run_fanin,
+        single_large_directory,
+    )
+
+    params = FANIN_SCALES[scale]
+    aggregates = params["aggregates"]
+
+    def one_arm(users: int, with_scaleup: bool = False) -> Dict[str, Any]:
+        t0 = time.perf_counter()
+        cluster = make_cluster(
+            "SwitchFS", scaled_config(num_servers=params["num_servers"])
+        )
+        pop = bootstrap(
+            cluster,
+            single_large_directory(params["files"]),
+            warm_clients=list(range(aggregates)),
+        )
+
+        def make_stream(a: int):
+            return FixedOpStream("stat", pop, seed=17 + a, dir_choice="single")
+
+        extra = None
+        events: Dict[str, Any] = {}
+        if with_scaleup:
+            sim = cluster.sim
+            # Expected run length is total_ops / offered_load; join at
+            # the half-way mark so the epoch bump lands mid-window.
+            half_us = 0.5 * params["total_ops"] / params["offered_load_ops"] * 1e6
+
+            def controller():
+                yield sim.timeout(half_us)
+                events["scale_up"] = yield from cluster.scale_up_gen()
+
+            extra = [controller()]
+        result = run_fanin(
+            cluster,
+            make_stream,
+            users=users,
+            offered_load_ops=params["offered_load_ops"],
+            total_ops=params["total_ops"],
+            aggregates=aggregates,
+            seed=42,
+            extra_procs=extra,
+        )
+        t1 = time.perf_counter()
+        wall = result.wall_seconds
+        entry: Dict[str, Any] = {
+            "ops": result.ops_completed,
+            "users": users,
+            "aggregates": aggregates,
+            "offered_load_ops": params["offered_load_ops"],
+            "achieved_load_ops": round(result.throughput_ops, 1),
+            "wall_seconds": round(wall, 6),
+            "wall_ops_per_sec": round(result.ops_completed / wall, 1) if wall else 0.0,
+            "setup_wall_seconds": round(max(0.0, (t1 - t0) - wall), 6),
+            "sim_throughput_kops": round(result.throughput_kops, 2),
+            "mean_latency_us": round(result.mean_latency_us, 3),
+            "p99_latency_us": round(result.p99_latency_us(), 3),
+            "peak_inflight": result.inflight,
+            "active_users": sum(
+                p["active_users"] for p in result.populations.values()
+            ),
+            "epoch_catchups": sum(
+                p["epoch_catchups"] for p in result.populations.values()
+            ),
+        }
+        up = events.get("scale_up")
+        if up is not None:
+            entry["final_epoch"] = up["epoch"]
+            entry["migrated_keys"] = up["migrated_keys"]
+        return entry
+
+    def best_arm(users: int, with_scaleup: bool = False) -> Dict[str, Any]:
+        best: Optional[Dict[str, Any]] = None
+        for _ in range(max(1, repeats)):
+            entry = one_arm(users, with_scaleup)
+            if best is None or entry["wall_seconds"] < best["wall_seconds"]:
+                best = entry
+        assert best is not None
+        return best
+
+    results: Dict[str, Dict[str, Any]] = {}
+    for users in params["users"]:
+        results[_fanin_arm_name(users)] = best_arm(users)
+    results["fanin_scaleup"] = best_arm(max(params["users"]), with_scaleup=True)
+    return results
+
+
 SWITCH_CACHE_SCALES = {
     # Design-space sweep for the in-switch dentry cache: a stat hotspot
     # (every op is a cache-eligible file lookup) and the DCS production
@@ -927,6 +1117,9 @@ def record_entry(
         "scale": scale,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        # Wall-clock rates only compare within one machine class; the
+        # core count lets `repro compare` warn on cross-machine deltas.
+        "host_cpus": os.cpu_count() or 1,
         "results": results,
     }
     if extra:
@@ -1045,6 +1238,44 @@ def gate_cache_hit_rate(
         return [
             f"e2e/{workload}: cache_hit_rate {rate:.3f} below the "
             f"required minimum {min_hit_rate:.2f}"
+        ]
+    return []
+
+
+def gate_fanin_wall_growth(
+    path: str,
+    label: str,
+    max_growth: float = 1.5,
+    small: str = "fanin_10k_users",
+    large: str = "fanin_100k_users",
+) -> Optional[List[str]]:
+    """Check that fan-in wall cost stays flat as the user count grows.
+
+    Like :func:`gate_cache_hit_rate` this is an absolute gate within one
+    entry, not a cross-entry wall-clock comparison: the *small* and
+    *large* fan-in arms ran the same offered load on the same machine in
+    the same process, so their wall ratio is a property of the engine —
+    growth beyond ``max_growth`` means per-op cost picked up an O(users)
+    term.  Returns failure strings, ``[]`` on pass, or ``None`` when the
+    entry or either arm is absent (callers warn and skip).
+    """
+    if not os.path.exists(path):
+        return None
+    data = load_trajectory(path, "e2e")
+    by_label = {e["label"]: e for e in data["history"]}
+    if label not in by_label:
+        return None
+    results = by_label[label]["results"]
+    s, l = results.get(small), results.get(large)
+    if not s or not l or not s.get("wall_seconds") or not l.get("wall_seconds"):
+        return None
+    ratio = l["wall_seconds"] / s["wall_seconds"]
+    if ratio > max_growth:
+        return [
+            f"e2e/{large}: wall {l['wall_seconds']:.4f}s is {ratio:.2f}x of "
+            f"{small} ({s['wall_seconds']:.4f}s) at the same offered load "
+            f"(allowed <= {max_growth:.2f}x — run cost must be O(load), "
+            f"not O(users))"
         ]
     return []
 

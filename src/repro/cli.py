@@ -90,7 +90,9 @@ def _build(args, system: Optional[str] = None):
     # SwitchFS datapath has; the knob is a no-op for baseline systems.
     cache = getattr(args, "switch_cache", False) and (system or args.system) == "SwitchFS"
     config = scaled_config(num_servers=args.servers, cores_per_server=args.cores,
-                           seed=args.seed, switch_cache=cache)
+                           seed=args.seed, switch_cache=cache,
+                           population_users=getattr(args, "users", 0) or 0,
+                           offered_load_ops=getattr(args, "offered_load", 0.0) or 0.0)
     cluster = make_cluster(system or args.system, config)
     population = bootstrap(cluster, _population(args), warm_clients=[0])
     return cluster, population
@@ -124,7 +126,63 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _throughput_fanin(args) -> int:
+    """Open-loop fan-in run (``--users`` / ``--offered-load``, DESIGN.md §16)."""
+    from .workloads import run_fanin
+
+    cluster, population = _build(args)
+
+    def make_stream(a: int):
+        return FixedOpStream(
+            args.op, population, seed=args.seed + a,
+            dir_choice="single" if args.dirs == 1 else "uniform",
+        )
+
+    result = run_fanin(
+        cluster,
+        make_stream,
+        users=args.users,
+        offered_load_ops=args.offered_load,
+        total_ops=args.ops,
+        aggregates=min(args.users, args.aggregates),
+        theta=cluster.config.population_theta,
+        seed=args.seed,
+    )
+    print_table(
+        f"{args.system}: open-loop {args.op}, {args.users:,} users",
+        ["metric", "value"],
+        [
+            ["offered load", f"{args.offered_load:,.0f} ops/s"],
+            ["achieved load", f"{result.throughput_ops:,.0f} ops/s"],
+            ["avg latency", f"{result.mean_latency_us:,.1f} us"],
+            ["p99 latency", f"{result.p99_latency_us():,.1f} us"],
+            ["peak in-flight", result.inflight],
+            ["simulated time", f"{result.sim_elapsed_us/1000:,.2f} ms"],
+            ["wall time", f"{result.wall_seconds:,.2f} s"],
+        ],
+    )
+    print_table(
+        "populations",
+        ["pop", "users", "load ops/s", "ops", "avg us", "p99 us",
+         "active", "top share", "epoch catchups"],
+        [
+            [name, f"{p['users']:,}", f"{p['offered_load_ops']:,.0f}",
+             p["ops_completed"], f"{p.get('mean_latency_us', 0.0):,.1f}",
+             f"{p.get('p99_latency_us', 0.0):,.1f}", p["active_users"],
+             f"{p['top_user_share']:.1%}", p["epoch_catchups"]]
+            for name, p in result.populations.items()
+        ],
+    )
+    return 0
+
+
 def cmd_throughput(args) -> int:
+    if args.users:
+        if args.offered_load <= 0:
+            print("error: --users needs --offered-load > 0 (total ops per "
+                  "simulated second)", file=sys.stderr)
+            return 2
+        return _throughput_fanin(args)
     cluster, population = _build(args)
     stream = FixedOpStream(
         args.op, population, seed=args.seed,
@@ -195,9 +253,18 @@ def _compare_trajectories(labels: str, out_dir: Optional[str]) -> int:
         if not os.path.exists(path):
             continue
         data = load_trajectory(path, suite)
-        labels_present = {e.get("label") for e in data["history"]}
-        if older not in labels_present or newer not in labels_present:
+        by_label = {e.get("label"): e for e in data["history"]}
+        if older not in by_label or newer not in by_label:
             continue
+        old_cpus = by_label[older].get("host_cpus")
+        new_cpus = by_label[newer].get("host_cpus")
+        if old_cpus != new_cpus:
+            print(
+                f"warning: {suite}: {older!r} ({old_cpus or '?'} cpus) and "
+                f"{newer!r} ({new_cpus or '?'} cpus) were recorded on "
+                f"different hardware — wall-rate speedups are not comparable",
+                file=sys.stderr,
+            )
         speedups = compare_rates(data, rate_key, older, newer)
         print_table(
             f"{suite}: {newer} / {older} ({rate_key})",
@@ -241,6 +308,7 @@ def cmd_perf(args) -> int:
     from .bench.perf import (
         bench_e2e,
         bench_elasticity,
+        bench_fanin,
         bench_kernel,
         bench_rpc,
         bench_store,
@@ -361,6 +429,7 @@ def cmd_perf(args) -> int:
             out = bench_e2e(scale=scale)
             out.update(bench_switch_cache(scale=scale))
             out.update(bench_elasticity(scale=scale))
+            out.update(bench_fanin(scale=scale))
             return out
 
         e2e = _run_suite("e2e", _e2e)
@@ -508,6 +577,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(p)
     _add_workload_args(p)
     p.add_argument("--op", default="create", choices=OPS)
+    p.add_argument("--users", type=int, default=0,
+                   help="logical users for an open-loop fan-in run "
+                        "(0 = legacy closed-loop; DESIGN.md §16)")
+    p.add_argument("--offered-load", type=float, default=0.0,
+                   help="total offered load in ops per simulated second "
+                        "(required with --users)")
+    p.add_argument("--aggregates", type=int, default=2,
+                   help="aggregate processes carrying the population "
+                        "(default: 2)")
     p.set_defaults(fn=cmd_throughput)
 
     p = sub.add_parser("compare", help="run one op across several systems")

@@ -96,6 +96,11 @@ class LibFS:
         # path -> ResolvedDir for directories only.
         self._cache: Dict[str, ResolvedDir] = {}
 
+    @property
+    def view_epoch(self) -> int:
+        """Epoch of the membership view this client currently routes by."""
+        return self._view.epoch
+
     # ------------------------------------------------------------------
     # path resolution
     # ------------------------------------------------------------------

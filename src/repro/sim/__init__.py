@@ -24,7 +24,7 @@ from .partition import (
     lookahead_bound_us,
     partition_of_dir,
 )
-from .rand import ZipfGenerator, make_rng, weighted_choice
+from .rand import AliasTable, ZipfGenerator, make_rng, weighted_choice, zipf_weights
 from .resources import Lock, Resource, RWLock, Store
 from .stats import Counter, LatencyRecorder, PhaseStats, ThroughputMeter, percentile
 
@@ -49,6 +49,8 @@ __all__ = [
     "make_rng",
     "ZipfGenerator",
     "weighted_choice",
+    "AliasTable",
+    "zipf_weights",
     "PartitionGuard",
     "PartitionViolation",
     "WindowedRunner",

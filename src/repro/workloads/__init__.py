@@ -1,6 +1,7 @@
 """Workload generators: op mixes, populations, bursts, and traces."""
 
 from .bursts import BurstStream
+from .clientpop import PopulationClient, UserTable, run_fanin
 from .generator import FixedOpStream, MixStream, OpStream, safe_op
 from .mixes import (
     CNN_TRAINING_MIX,
@@ -37,4 +38,7 @@ __all__ = [
     "CNNTrainingTrace",
     "ThumbnailTrace",
     "trace_population",
+    "PopulationClient",
+    "UserTable",
+    "run_fanin",
 ]

@@ -20,7 +20,7 @@ from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from ..core.client import LibFS
 from ..core.errors import FSError
-from ..sim import ZipfGenerator, make_rng, weighted_choice
+from ..sim import AliasTable, ZipfGenerator, make_rng
 from .mixes import OpMix
 from .population import Population
 
@@ -49,11 +49,19 @@ class OpStream:
     def next_thunk(self) -> OpThunk:
         raise NotImplementedError
 
-    def take(self) -> OpThunk:
+    def take(self, uid: int = 0) -> OpThunk:
+        """Hand out the next op thunk, stamped with the issuing user id.
+
+        *uid* is the logical user on whose behalf the op runs (always 0
+        for the legacy closed-loop harness); the client-population engine
+        threads real user ids through so per-user accounting can follow
+        the thunk to completion.
+        """
         self.issued += 1
         thunk = self.next_thunk()
         if not hasattr(thunk, "op_name"):
             thunk.op_name = getattr(self, "op", self.name)
+        thunk.uid = uid
         return thunk
 
 
@@ -168,6 +176,10 @@ class MixStream(OpStream):
         self.mix = mix
         self.pop = population
         self._rng = make_rng(seed, f"mix-{mix.name}")
+        # Precomputed O(1) alias table over the mix probabilities: one
+        # uniform draw per op, independent of how many op kinds the mix
+        # has (the old weighted_choice linear scan was O(kinds) per op).
+        self._op_alias = AliasTable(mix.probs)
         self._dirs = population.dir_paths
         self._skew = skew_8020 and len(self._dirs) >= 5
         self._hot_count = max(1, len(self._dirs) // 5)
@@ -190,7 +202,7 @@ class MixStream(OpStream):
         return f"{d}/{self.pop.file_name(idx)}"
 
     def next_thunk(self) -> OpThunk:
-        op = weighted_choice(self.mix.ops, self.mix.probs, self._rng)
+        op = self.mix.ops[self._op_alias.sample(self._rng)]
         thunk = self._thunk_for(op)
         thunk.op_name = op
         return thunk

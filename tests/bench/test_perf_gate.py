@@ -2,7 +2,12 @@
 
 import json
 
-from repro.bench.perf import SCHEMA_VERSION, SUITE_RATE_KEYS, gate_regressions
+from repro.bench.perf import (
+    SCHEMA_VERSION,
+    SUITE_RATE_KEYS,
+    gate_fanin_wall_growth,
+    gate_regressions,
+)
 
 
 def write_trajectory(path, suite, entries):
@@ -81,3 +86,51 @@ class TestGateRegressions:
                 e["label"] == "ci-baseline" and e["scale"] == "tiny"
                 for e in history
             ), f"BENCH_{suite}.json lost its committed ci-baseline entry"
+
+
+def fanin_entry(label, small_wall, large_wall, scale="tiny"):
+    return {
+        "label": label,
+        "scale": scale,
+        "results": {
+            "fanin_10k_users": {"wall_seconds": small_wall,
+                                "wall_ops_per_sec": 1000.0},
+            "fanin_100k_users": {"wall_seconds": large_wall,
+                                 "wall_ops_per_sec": 1000.0},
+        },
+    }
+
+
+class TestGateFaninWallGrowth:
+    def test_flat_wall_passes(self, tmp_path):
+        p = tmp_path / "BENCH_e2e.json"
+        write_trajectory(p, "e2e", [fanin_entry("new", 0.10, 0.12)])
+        assert gate_fanin_wall_growth(str(p), "new") == []
+
+    def test_wall_growth_beyond_limit_fails(self, tmp_path):
+        p = tmp_path / "BENCH_e2e.json"
+        write_trajectory(p, "e2e", [fanin_entry("new", 0.10, 0.20)])
+        failures = gate_fanin_wall_growth(str(p), "new", max_growth=1.5)
+        assert len(failures) == 1
+        assert "fanin_100k_users" in failures[0]
+        assert "O(load)" in failures[0]
+
+    def test_boundary_ratio_passes(self, tmp_path):
+        p = tmp_path / "BENCH_e2e.json"
+        write_trajectory(p, "e2e", [fanin_entry("new", 0.10, 0.15)])
+        assert gate_fanin_wall_growth(str(p), "new", max_growth=1.5) == []
+
+    def test_missing_label_skips(self, tmp_path):
+        p = tmp_path / "BENCH_e2e.json"
+        write_trajectory(p, "e2e", [fanin_entry("other", 0.1, 0.1)])
+        assert gate_fanin_wall_growth(str(p), "new") is None
+
+    def test_missing_arm_skips(self, tmp_path):
+        p = tmp_path / "BENCH_e2e.json"
+        e = fanin_entry("new", 0.1, 0.1)
+        del e["results"]["fanin_100k_users"]
+        write_trajectory(p, "e2e", [e])
+        assert gate_fanin_wall_growth(str(p), "new") is None
+
+    def test_missing_file_skips(self, tmp_path):
+        assert gate_fanin_wall_growth(str(tmp_path / "nope.json"), "new") is None

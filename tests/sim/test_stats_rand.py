@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim import (
+    AliasTable,
     Counter,
     LatencyRecorder,
     ThroughputMeter,
@@ -12,6 +13,7 @@ from repro.sim import (
     make_rng,
     percentile,
     weighted_choice,
+    zipf_weights,
 )
 
 
@@ -172,3 +174,92 @@ class TestWeightedChoice:
     def test_nonpositive_total(self):
         with pytest.raises(ValueError):
             weighted_choice(["a"], [0.0], make_rng(0, "wc"))
+
+
+class _CountingRng:
+    """Wraps an RNG counting random() calls (the one-draw invariant)."""
+
+    def __init__(self, rng):
+        self._rng = rng
+        self.calls = 0
+
+    def random(self):
+        self.calls += 1
+        return self._rng.random()
+
+
+class TestAliasTable:
+    def test_single_item(self):
+        t = AliasTable([3.0])
+        rng = make_rng(0, "alias")
+        assert all(t.sample(rng) == 0 for _ in range(50))
+
+    def test_zero_weight_never_sampled(self):
+        t = AliasTable([0.0, 1.0, 0.0])
+        rng = make_rng(1, "alias")
+        assert {t.sample(rng) for _ in range(500)} == {1}
+
+    def test_distribution_tracks_weights(self):
+        weights = [1.0, 2.0, 7.0]
+        t = AliasTable(weights)
+        rng = make_rng(2, "alias")
+        counts = [0, 0, 0]
+        n = 30_000
+        for _ in range(n):
+            counts[t.sample(rng)] += 1
+        for c, w in zip(counts, weights):
+            assert abs(c / n - w / 10.0) < 0.02
+
+    def test_matches_weighted_choice_distribution_on_zipf(self):
+        weights = zipf_weights(64, 0.99)
+        t = AliasTable(weights)
+        rng = make_rng(3, "alias")
+        counts = [0] * 64
+        for _ in range(20_000):
+            counts[t.sample(rng)] += 1
+        # Rank 0 is hottest and the tail is rarely drawn.
+        assert counts[0] == max(counts)
+        assert counts[0] > 5 * counts[-1]
+
+    def test_deterministic(self):
+        t = AliasTable([0.5, 1.5, 3.0, 1.0])
+        seq1 = [t.sample(make_rng(4, "alias")) for _ in range(1)]
+        r1, r2 = make_rng(4, "alias"), make_rng(4, "alias")
+        assert [t.sample(r1) for _ in range(200)] == [
+            t.sample(r2) for _ in range(200)
+        ]
+        assert seq1[0] == t.sample(make_rng(4, "alias"))
+
+    def test_one_uniform_per_sample(self):
+        # The population engine's cross-size determinism rests on this:
+        # a sample consumes exactly one uniform regardless of table size.
+        for n in (1, 7, 1000):
+            t = AliasTable(zipf_weights(n, 0.99))
+            rng = _CountingRng(make_rng(5, "alias"))
+            for _ in range(100):
+                t.sample(rng)
+            assert rng.calls == 100
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            AliasTable([])
+        with pytest.raises(ValueError):
+            AliasTable([0.0, 0.0])
+        with pytest.raises(ValueError):
+            AliasTable([1.0, -0.5])
+
+
+class TestZipfWeights:
+    def test_shape(self):
+        w = zipf_weights(10, 0.99)
+        assert len(w) == 10 and w[0] == 1.0
+        assert list(w) == sorted(w, reverse=True)
+
+    def test_theta_zero_uniform(self):
+        assert set(zipf_weights(5, 0.0)) == {1.0}
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -0.1)
