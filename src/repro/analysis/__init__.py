@@ -16,8 +16,15 @@ Three pillars, all opt-in and zero-cost when disabled:
   enforcing repo rules: no wall-clock/``random``-module calls in
   sim-visible code, no cross-module private-attribute access, generator
   hygiene, and packet-pool protocol discipline.
+* :mod:`.cfg` / :mod:`.callgraph` / :mod:`.flow` — the flow-sensitive
+  static complement (DESIGN.md §17): generator-aware CFGs with explicit
+  yield/resume edges, a name-resolved project call graph, and four
+  interprocedural analyses (RL101 packet-escape, RL102
+  lock-across-yield, RL103 static lock-order graph cross-checked
+  against SimTracer's dynamic one, RL104 stale-view-across-yield).
 
-Surface through the CLI as ``repro analyze`` and ``repro lint``.
+Surface through the CLI as ``repro analyze``, ``repro lint``, and
+``repro flow``.
 """
 
 from .detect import analyze_report, lock_order_cycles, race_findings
@@ -26,6 +33,19 @@ from .poolsan import (
     install_pool_sanitizer,
     pool_sanitizer_enabled,
     uninstall_pool_sanitizer,
+)
+from .flow import (
+    FLOW_RULES,
+    FlowFinding,
+    FlowReport,
+    analyze_paths,
+    cross_check_lock_orders,
+    format_flow_finding,
+    load_baseline,
+    lock_graph_json,
+    new_findings,
+    to_sarif,
+    write_baseline,
 )
 from .reprolint import Finding, format_finding, lint_paths
 from .trace import SimTracer, instrument_server
@@ -43,4 +63,15 @@ __all__ = [
     "Finding",
     "lint_paths",
     "format_finding",
+    "FLOW_RULES",
+    "FlowFinding",
+    "FlowReport",
+    "analyze_paths",
+    "cross_check_lock_orders",
+    "format_flow_finding",
+    "load_baseline",
+    "lock_graph_json",
+    "new_findings",
+    "to_sarif",
+    "write_baseline",
 ]

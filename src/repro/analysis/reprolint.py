@@ -45,6 +45,14 @@ RL006 ``slotless-hot-class``
     genuinely cold (created once at boot, config-like), annotate the
     ``class`` line with ``# reprolint: allow[RL006] why``.
 
+RL007 ``dead-suppression``
+    A ``# reprolint: allow[...]`` comment naming one of the syntactic
+    rules above, on a line where that rule no longer fires: the code it
+    once justified is gone, so the comment is dead weight (and would
+    silently mask a *future* reintroduction).  Delete it.  ``allow[*]``
+    and flow-rule suppressions (RL101+, audited by ``repro flow``) are
+    not checked here.
+
 Suppression: append ``# reprolint: allow[<rule-or-id>] <reason>`` on the
 flagged line.  ``allow[*]`` suppresses every rule on that line.
 """
@@ -66,6 +74,7 @@ RULES = {
     "RL004": "unadopted-generator",
     "RL005": "pool-protocol",
     "RL006": "slotless-hot-class",
+    "RL007": "dead-suppression",
 }
 _NAME_TO_ID = {v: k for k, v in RULES.items()}
 
@@ -465,6 +474,20 @@ def _rl006_hot(path: Path) -> bool:
     return any(posix.endswith(suffix) for suffix in _RL006_HOT_SUFFIXES)
 
 
+def _comment_tokens(source: str) -> List[Tuple[int, int, str]]:
+    """``(line, col, text)`` of every real comment token in *source*."""
+    import io
+    import tokenize
+    out: List[Tuple[int, int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.start[1], tok.string))
+    except (tokenize.TokenError, IndentationError):
+        pass  # the caller already parsed the file; be forgiving here
+    return out
+
+
 def lint_file(path) -> List[Finding]:
     """Lint one Python source file; returns surviving findings."""
     p = Path(path)
@@ -482,12 +505,34 @@ def lint_file(path) -> List[Finding]:
 
     lines = source.splitlines()
     out = []
+    used: Dict[int, Set[str]] = {}
     for f in linter.findings:
         text = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
         allowed = _allowed_rules(text)
         if allowed is not None and f.rule in allowed:
+            used.setdefault(f.line, set()).add(f.rule)
             continue
         out.append(f)
+    # RL007: audit the allow comments themselves — a named syntactic rule
+    # that suppressed nothing on its line is a dead suppression.  Only
+    # real COMMENT tokens count: docstrings/messages that merely *mention*
+    # the allow syntax are prose, not suppressions.
+    auditable_ids = set(RULES) - {"RL007"}
+    for lineno, col, text in _comment_tokens(source):
+        m = _ALLOW_RE.search(text)
+        if not m:
+            continue
+        tokens = [t.strip() for t in m.group(1).split(",")]
+        if "*" in tokens:
+            continue  # blanket allows are not audited
+        named = {_NAME_TO_ID.get(t, t) for t in tokens} & auditable_ids
+        dead = sorted(named - used.get(lineno, set()))
+        if dead:
+            out.append(Finding(
+                str(p), lineno, col, "RL007",
+                f"allow[{','.join(dead)}] suppresses nothing on this line "
+                f"any more — delete the dead comment",
+            ))
     out.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return out
 

@@ -218,7 +218,7 @@ class SyncMetadataServer(ServerRuntime):
             else:
                 self.kv.delete(key)
             # Synchronous parent update before returning (the crux).
-            yield from self._update_parent_sync(
+            yield from self._update_parent_sync(  # reprolint: allow[RL102] sync baseline holds the inode lock across the parent-update RPC by design (the measured legacy cost)
                 parent_owner=args["parent_owner"],
                 parent_key=tuple(args["parent_key"]),
                 parent_id=pid,
@@ -330,7 +330,7 @@ class SyncMetadataServer(ServerRuntime):
             )
             self.kv.put(key, inode)
             self._dir_index[inode.id] = key
-            yield from self._update_parent_sync(
+            yield from self._update_parent_sync(  # reprolint: allow[RL102] sync baseline holds the inode lock across the parent-update RPC by design (the measured legacy cost)
                 parent_owner=args["parent_owner"],
                 parent_key=tuple(args["parent_key"]),
                 parent_id=pid,
@@ -365,7 +365,7 @@ class SyncMetadataServer(ServerRuntime):
             yield from self._cpu(self.perf.wal_append_us + self.perf.kv_put_us)
             self.kv.delete(key)
             self._dir_index.pop(inode.id, None)
-            yield from self._update_parent_sync(
+            yield from self._update_parent_sync(  # reprolint: allow[RL102] sync baseline holds the inode lock across the parent-update RPC by design (the measured legacy cost)
                 parent_owner=args["parent_owner"],
                 parent_key=tuple(args["parent_key"]),
                 parent_id=pid,

@@ -450,11 +450,48 @@ def cmd_perf(args) -> int:
     return 0
 
 
+def _changed_paths(base: str, scope: List[str]) -> Optional[List[str]]:
+    """Python files changed vs *base* (``git diff --name-only``), kept to
+    those under one of the *scope* paths and still present on disk.
+
+    Returns None when git is unavailable (caller falls back to a full
+    run) and [] when nothing relevant changed.
+    """
+    import subprocess
+    from pathlib import Path
+
+    try:
+        out = subprocess.run(
+            ["git", "diff", "--name-only", base, "--"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    prefixes = [Path(s).as_posix().rstrip("/") for s in scope]
+    changed: List[str] = []
+    for line in out.splitlines():
+        name = line.strip()
+        if not name.endswith(".py") or not Path(name).exists():
+            continue
+        posix = Path(name).as_posix()
+        if any(posix == p or posix.startswith(p + "/") for p in prefixes):
+            changed.append(name)
+    return changed
+
+
 def cmd_lint(args) -> int:
     """Run ``reprolint`` (the repo-specific AST lint) over paths."""
     from .analysis import format_finding, lint_paths
 
-    findings = lint_paths(args.paths)
+    paths = args.paths
+    if args.changed is not None:
+        changed = _changed_paths(args.changed, paths)
+        if changed is not None:
+            if not changed:
+                print(f"reprolint: no python files changed vs {args.changed}")
+                return 0
+            paths = changed
+    findings = lint_paths(paths)
     for f in findings:
         print(format_finding(f))
     count = len(findings)
@@ -464,6 +501,79 @@ def cmd_lint(args) -> int:
         return 1
     print("reprolint: clean")
     return 0
+
+
+def cmd_flow(args) -> int:
+    """Run the flow-sensitive analyses (RL101-RL104) over paths."""
+    import json as _json
+
+    from .analysis import flow
+
+    restrict = None
+    if args.changed is not None:
+        changed = _changed_paths(args.changed, args.paths)
+        if changed is not None:
+            if not changed:
+                print(f"repro flow: no python files changed vs {args.changed}")
+                return 0
+            # Full-scope scan (interprocedural facts), changed-only report.
+            restrict = changed
+    report = flow.analyze_paths(args.paths, restrict_to=restrict)
+
+    if args.write_baseline:
+        flow.write_baseline(args.write_baseline, report)
+        print(f"repro flow: wrote {len(report.findings)} fingerprint(s) "
+              f"to {args.write_baseline}")
+        return 0
+
+    findings = report.findings
+    if args.baseline:
+        try:
+            baseline = flow.load_baseline(args.baseline)
+        except OSError as exc:
+            print(f"repro flow: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        findings = flow.new_findings(report, baseline)
+
+    if args.lock_graph:
+        with open(args.lock_graph, "w", encoding="utf-8") as fh:
+            _json.dump(flow.lock_graph_json(report), fh, indent=2)
+            fh.write("\n")
+    if args.sarif:
+        doc = flow.to_sarif(report, findings)
+        if args.sarif == "-":
+            print(_json.dumps(doc, indent=2))
+        else:
+            with open(args.sarif, "w", encoding="utf-8") as fh:
+                _json.dump(doc, fh, indent=2)
+                fh.write("\n")
+
+    if args.json:
+        doc = {
+            "findings": [
+                {
+                    "path": f.path, "line": f.line, "col": f.col,
+                    "rule": f.rule, "name": f.name, "message": f.message,
+                    "function": f.function, "fingerprint": f.fingerprint,
+                }
+                for f in findings
+            ],
+            "lock_graph": flow.lock_graph_json(report),
+            "counts": report.counts(),
+        }
+        print(_json.dumps(doc, indent=2))
+    else:
+        for f in findings:
+            print(flow.format_flow_finding(f))
+        scope = f"{report.files_scanned} file(s)"
+        if findings:
+            label = "new finding(s)" if args.baseline else "finding(s)"
+            print(f"repro flow: {len(findings)} {label} in {scope}")
+        else:
+            print(f"repro flow: clean ({scope}, "
+                  f"{len(report.lock_graph)} lock-order edge(s))")
+    return 1 if findings else 0
 
 
 def cmd_analyze(args) -> int:
@@ -508,12 +618,31 @@ def cmd_analyze(args) -> int:
     tracer.detach()
 
     print(analyze_report(tracer, include_reads=args.include_reads))
-    if args.strict and (
+    failed = args.strict and (
         lock_order_cycles(tracer)
         or race_findings(tracer, include_reads=args.include_reads)
-    ):
-        return 1
-    return 0
+    )
+    if args.strict:
+        # Fold in the static complement: new (unbaselined) flow findings
+        # fail strict mode just like dynamic cycles/races do.
+        from pathlib import Path
+
+        from .analysis import flow
+
+        src = Path("src/repro")
+        if src.is_dir():
+            report = flow.analyze_paths([src])
+            baseline_path = Path("flow-baseline.json")
+            baseline = (
+                flow.load_baseline(baseline_path) if baseline_path.exists() else {}
+            )
+            fresh = flow.new_findings(report, baseline)
+            for f in fresh:
+                print(flow.format_flow_finding(f))
+            print(f"static flow: {len(fresh)} new finding(s), "
+                  f"{len(report.lock_graph)} lock-order edge(s)")
+            failed = failed or bool(fresh)
+    return 1 if failed else 0
 
 
 def cmd_workload(args) -> int:
@@ -643,7 +772,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint", help="repo-specific AST lint (reprolint)")
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files/directories to lint (default: src)")
+    p.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                   metavar="BASE",
+                   help="lint only files changed vs BASE "
+                        "(git diff --name-only; default base: HEAD)")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("flow",
+                       help="flow-sensitive static analyses (RL101-RL104)")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files/directories to analyze (default: src)")
+    p.add_argument("--json", action="store_true",
+                   help="emit findings + lock-order graph as JSON")
+    p.add_argument("--sarif", metavar="FILE",
+                   help="write SARIF 2.1.0 to FILE ('-' for stdout)")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="fail only on findings not fingerprinted in FILE")
+    p.add_argument("--write-baseline", metavar="FILE",
+                   help="write the current findings as a baseline and exit")
+    p.add_argument("--lock-graph", metavar="FILE",
+                   help="write the static lock-order graph JSON to FILE")
+    p.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                   metavar="BASE",
+                   help="analyze only files changed vs BASE "
+                        "(git diff --name-only; default base: HEAD)")
+    p.set_defaults(fn=cmd_flow)
 
     p = sub.add_parser("analyze",
                        help="traced run: lock-order cycle + race detection")

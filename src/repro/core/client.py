@@ -214,7 +214,7 @@ class LibFS:
                 yield sim.timeout(perf.client_cpu_us)
                 try:
                     value, _ = yield from self.node.call(
-                        owner,
+                        owner,  # reprolint: allow[RL104] a stale owner is safe: EWRONGEPOCH refreshes the view and the loop retries
                         method,
                         args,
                         timeout_us=perf.rpc_timeout_us,
@@ -322,7 +322,7 @@ class LibFS:
                 t0 = sim.now
                 try:
                     value, pkt = yield from self.node.call(
-                        owner,
+                        owner,  # reprolint: allow[RL104] a stale owner is safe: EWRONGEPOCH refreshes the view and the loop retries
                         method,
                         args,
                         make_header=make_header,

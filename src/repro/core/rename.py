@@ -127,7 +127,7 @@ def run_rename(server: "MetadataServer", args: Dict[str, Any]) -> Generator:
         yield from server.charge_cpu(perf.path_check_us)
         if not server.inval.validate(args.get("ancestor_ids", ())):
             raise FSError("EINVALIDPATH", args.get("path", "?"))
-        result = yield from rename_transaction(
+        result = yield from rename_transaction(  # reprolint: allow[RL102] the rename serialiser spans the whole distributed transaction by design
             node, sim, cmap, perf, args,
             async_updates=server.config.async_updates,
         )

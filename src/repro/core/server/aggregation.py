@@ -70,7 +70,7 @@ class AggregationProtocol:
                 if pulled:
                     yield from self._cpu(self.perf.wal_append_us)
                     self.wal.append("agg", [(d, e) for d, e, _ in pulled])
-                    yield from self._apply_logs(pulled)
+                    yield from self._apply_logs(pulled)  # reprolint: allow[RL102] pull-until-ack: group changelog locks stay held while the drained entries apply
                 self._send_agg_ack(fp, others, results, local)
             finally:
                 for lock in local_locks:

@@ -350,7 +350,7 @@ class ChangeLogEngine:
                 yield from self._acquire(lock, "w")
             try:
                 self.wal.append("agg", [(d, e) for d, e, _ in pulled])
-                yield from self._apply_logs(pulled)
+                yield from self._apply_logs(pulled)  # reprolint: allow[RL102] pull-until-ack: changelog locks stay held while the pulled entries apply
             finally:
                 for lock in locks:
                     lock.release_write()

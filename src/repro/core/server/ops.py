@@ -158,12 +158,12 @@ class ServerOps:
                 perm=perm,
             )
             if self.config.async_updates:
-                reply = yield from self._finish_async_update(
+                reply = yield from self._finish_async_update(  # reprolint: allow[RL102] async update holds the locks across the switch round-trip; unlock defers to the INSERT multicast
                     request, parent_fp, pid, entry, [(klock, "w"), (cl_lock, "r")]
                 )
                 deferred_unlock = reply is not None and reply.header is not None
                 return reply
-            yield from self._apply_parent_sync(pid, parent_fp, entry)
+            yield from self._apply_parent_sync(pid, parent_fp, entry)  # reprolint: allow[RL102] sync fallback holds the locks across the parent-update RPC by design
             return {"status": "ok"}
         finally:
             self._mutator_end()
@@ -215,7 +215,7 @@ class ServerOps:
                 perm=args.get("perm", 0o755),
             )
             if self.config.async_updates:
-                reply = yield from self._finish_async_update(
+                reply = yield from self._finish_async_update(  # reprolint: allow[RL102] async update holds the locks across the switch round-trip; unlock defers to the INSERT multicast
                     request, parent_fp, pid, entry, [(klock, "w"), (cl_lock, "r")]
                 )
                 deferred_unlock = reply is not None and reply.header is not None
@@ -223,7 +223,7 @@ class ServerOps:
                     reply.value["id"] = inode.id
                     reply.value["fingerprint"] = inode.fingerprint
                 return reply
-            yield from self._apply_parent_sync(pid, parent_fp, entry)
+            yield from self._apply_parent_sync(pid, parent_fp, entry)  # reprolint: allow[RL102] sync fallback holds the locks across the parent-update RPC by design
             return {"status": "ok", "id": inode.id, "fingerprint": inode.fingerprint}
         finally:
             self._mutator_end()
@@ -261,12 +261,12 @@ class ServerOps:
             if self.config.async_updates:
                 # Invalidate the directory everywhere and pull its group's
                 # scattered updates (steps 4-6).
-                yield from self._wait_group_unblocked(fp)
+                yield from self._wait_group_unblocked(fp)  # reprolint: allow[RL102] rmdir barrier: dir locks held while a concurrent aggregation group drains
                 block = self.sim.event()
                 self._group_blocks[fp] = block
                 try:
                     others = self.cmap.others(self.addr)
-                    results = yield from self._multicast(
+                    results = yield from self._multicast(  # reprolint: allow[RL102] rmdir freeze: the invalidation multicast runs under the dir locks (steps 4-6)
                         others, "invalidate_and_pull", {"dir_id": dir_id, "fp": fp}
                     )
                     self.inval.insert(dir_id)
@@ -277,7 +277,7 @@ class ServerOps:
                         if pulled:
                             yield from self._cpu(self.perf.wal_append_us)
                             self.wal.append("agg", [(d, e) for d, e, _ in pulled])
-                            yield from self._apply_logs(
+                            yield from self._apply_logs(  # reprolint: allow[RL102] rmdir freeze: the pulled group applies under the dir locks by design
                                 pulled, already_locked=frozenset([key])
                             )
                         self._send_agg_ack(fp, others, results, local)
@@ -292,11 +292,14 @@ class ServerOps:
             yield from self._cpu(self.perf.kv_get_us)
             if inode.entry_count > 0:
                 # Not empty: revert the invalidation so the directory stays
-                # usable, then fail.
+                # usable, then fail.  The revert must be as reliable as the
+                # invalidation it undoes: a lost fire-and-forget uninvalidate
+                # leaves the directory permanently EINVALIDPATH on that peer.
                 if invalidated:
                     self.inval.discard(dir_id)
-                    for other in self.cmap.others(self.addr):
-                        self.node.notify(other, "uninvalidate", {"dir_id": dir_id})
+                    yield from self._multicast(  # reprolint: allow[RL102] rmdir revert: the acked un-invalidate runs under the dir locks, like the freeze it reverts
+                        self.cmap.others(self.addr), "uninvalidate", {"dir_id": dir_id}
+                    )
                 raise FSError(ENOTEMPTY, f"{pid}/{name}")
 
             yield from self._cpu(self.perf.wal_append_us)
@@ -308,12 +311,12 @@ class ServerOps:
 
             entry = ChangeLogEntry(timestamp=now, op=ChangeOp.RMDIR, name=name, is_dir=True)
             if self.config.async_updates:
-                reply = yield from self._finish_async_update(
+                reply = yield from self._finish_async_update(  # reprolint: allow[RL102] async update holds the locks across the switch round-trip; unlock defers to the INSERT multicast
                     request, parent_fp, pid, entry, [(klock, "w"), (cl_lock, "r")]
                 )
                 deferred_unlock = reply is not None and reply.header is not None
                 return reply
-            yield from self._apply_parent_sync(pid, parent_fp, entry)
+            yield from self._apply_parent_sync(pid, parent_fp, entry)  # reprolint: allow[RL102] sync fallback holds the locks across the parent-update RPC by design
             return {"status": "ok"}
         finally:
             self._mutator_end()

@@ -91,7 +91,7 @@ class RenameParticipant:
         yield from self._acquire(cl_lock, "r")
         deferred_unlock = False
         try:
-            reply = yield from self._finish_async_update(
+            reply = yield from self._finish_async_update(  # reprolint: allow[RL102] async update holds the changelog lock across the switch round-trip; unlock defers to the INSERT multicast
                 request, args["parent_fp"], args["parent_id"], args["entry"],
                 locks=[(cl_lock, "r")],
             )

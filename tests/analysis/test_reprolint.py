@@ -459,8 +459,71 @@ class TestSuppressionAndOutput:
 
     def test_rule_table_is_complete(self):
         assert set(RULES) == {
-            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
         }
+
+
+class TestRL007DeadSuppression:
+    def test_dead_allow_comment_is_reported(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def add(a, b):
+                return a + b  # reprolint: allow[RL001] was wall-clock once
+            """,
+        )
+        findings = lint_file(p)
+        assert _rules(findings) == ["RL007"]
+        assert "allow[RL001]" in findings[0].message
+
+    def test_live_suppression_is_not_dead(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            import time
+
+            def wall():
+                return time.monotonic()  # reprolint: allow[RL001] boot-time only
+            """,
+        )
+        assert lint_file(p) == []
+
+    def test_blanket_allow_star_is_not_audited(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def add(a, b):
+                return a + b  # reprolint: allow[*] grandfathered
+            """,
+        )
+        assert lint_file(p) == []
+
+    def test_prose_mention_in_docstring_is_not_audited(self, tmp_path):
+        p = _write(
+            tmp_path,
+            "mod.py",
+            '''
+            def doc():
+                """Use '# reprolint: allow[RL001] why' to suppress."""
+                return 1
+            ''',
+        )
+        assert lint_file(p) == []
+
+    def test_flow_rule_allows_are_not_lints_business(self, tmp_path):
+        # RL101+ suppressions are audited by `repro flow`, not the lint.
+        p = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def add(a, b):
+                return a + b  # reprolint: allow[RL102] flow-rule territory
+            """,
+        )
+        assert lint_file(p) == []
 
 
 class TestRepoIsClean:

@@ -109,6 +109,84 @@ class TestAnalyze:
         assert "simulation analysis report" in out
         assert "lock-order cycles: 0" in out
         assert "no lock-order cycles or lockset races detected" in out
+        # --strict folds in the static flow analyses against the
+        # committed baseline.
+        assert "static flow: 0 new finding(s)" in out
+
+
+STALE_VIEW = (
+    "def route(self, key):\n"
+    "    owner = self.cmap.view.owner_of(key)\n"
+    "    yield self.sim.timeout(1)\n"
+    "    return self.call(owner)\n"
+)
+
+
+class TestFlow:
+    def test_seeded_finding_exits_nonzero(self, capsys, tmp_path):
+        target = tmp_path / "stale.py"
+        target.write_text(STALE_VIEW, encoding="utf-8")
+        code, out = run_cli(capsys, ["flow", str(tmp_path)])
+        assert code == 1
+        assert "RL104[stale-view-across-yield]" in out
+        assert "stale.py:4" in out
+
+    def test_baseline_masks_known_findings(self, capsys, tmp_path):
+        (tmp_path / "stale.py").write_text(STALE_VIEW, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        code, out = run_cli(
+            capsys, ["flow", str(tmp_path), "--write-baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "wrote 1 fingerprint(s)" in out
+        code, out = run_cli(
+            capsys, ["flow", str(tmp_path), "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "clean" in out
+
+    def test_sarif_and_lock_graph_outputs(self, capsys, tmp_path):
+        import json
+
+        (tmp_path / "stale.py").write_text(STALE_VIEW, encoding="utf-8")
+        sarif = tmp_path / "flow.sarif"
+        graph = tmp_path / "graph.json"
+        code, _ = run_cli(capsys, [
+            "flow", str(tmp_path), "--sarif", str(sarif),
+            "--lock-graph", str(graph),
+        ])
+        assert code == 1
+        doc = json.loads(sarif.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "RL104"
+        assert json.loads(graph.read_text()) == {"edges": [], "cycles": []}
+
+    def test_src_tree_is_clean_vs_committed_baseline(self, capsys):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        code, out = run_cli(capsys, [
+            "flow", str(root / "src"),
+            "--baseline", str(root / "flow-baseline.json"),
+        ])
+        assert code == 0, out
+        assert "clean" in out
+
+    def test_changed_scope_with_baseline(self, capsys):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        code, out = run_cli(capsys, [
+            "flow", "src", "--changed", "HEAD",
+            "--baseline", str(root / "flow-baseline.json"),
+        ])
+        # Either nothing relevant changed vs HEAD, or the changed subset
+        # is clean against the committed baseline.
+        assert code == 0, out
+
+    def test_lint_changed_scope(self, capsys):
+        code, out = run_cli(capsys, ["lint", "src", "--changed", "HEAD"])
+        assert code == 0, out
 
 
 class TestParser:
